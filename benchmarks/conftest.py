@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+All benchmarks share one :class:`~repro.experiments.Workbench` (session
+scope) whose artifacts — the fine-tuned detector and every trained attack —
+are cached under ``.repro_cache`` in the repository root. The first full
+run therefore trains everything; re-runs only re-evaluate.
+
+Environment knobs:
+
+* ``REPRO_PROFILE`` — ``reduced`` (default) or ``smoke`` for a quick pass.
+* ``REPRO_CACHE_DIR`` — overrides the artifact cache location.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import Workbench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _make_workbench() -> Workbench:
+    cache_dir = os.environ.get(
+        "REPRO_CACHE_DIR", os.path.join(REPO_ROOT, ".repro_cache")
+    )
+    profile = os.environ.get("REPRO_PROFILE", "reduced")
+    if profile == "smoke":
+        return Workbench.smoke(seed=0, cache_dir=cache_dir)
+    if profile == "reduced":
+        return Workbench.reduced(seed=0, cache_dir=cache_dir)
+    raise ValueError(f"unknown REPRO_PROFILE {profile!r}")
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    bench = _make_workbench()
+    bench.detector()  # train or load once up front
+    return bench
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> str:
+    path = os.path.join(REPO_ROOT, "artifacts")
+    os.makedirs(path, exist_ok=True)
+    return path

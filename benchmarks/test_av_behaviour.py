@@ -1,0 +1,65 @@
+"""Behavioural ablation (extension, DESIGN.md §6).
+
+Not a paper table: runs the full AV stack — detector → 3-consecutive-frame
+confirmation → rule planner — on clean and attacked approach videos and
+compares the vehicle's actions. This quantifies the paper's conclusion
+("erroneous responses") beyond PWC/CWC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.av import Action, AvPipeline
+from repro.scene import challenge_trajectory, render_run
+
+
+@pytest.fixture(scope="module")
+def traces(workbench):
+    detector = workbench.detector()
+    scenario = workbench.scenario()
+    attack = workbench.train_attack()
+    pipeline = AvPipeline(detector, confirm_frames=3)
+    poses = challenge_trajectory("speed/slow")
+
+    def run(decals):
+        frames = render_run(scenario, poses, np.random.default_rng(3),
+                            decals=decals)
+        return pipeline.run([f.image for f in frames])
+
+    clean = run(None)
+    attacked = run(attack.deploy(physical=False))
+    return clean, attacked
+
+
+def test_behaviour_report(traces, benchmark, workbench):
+    clean, attacked = traces
+    clean_counts = AvPipeline.action_counts(clean)
+    attacked_counts = AvPipeline.action_counts(attacked)
+    print()
+    print("AV behaviour over speed/slow approach (frames per action):")
+    print("  clean   :", {a.value: n for a, n in clean_counts.items() if n})
+    print("  attacked:", {a.value: n for a, n in attacked_counts.items() if n})
+
+    detector = workbench.detector()
+    pipeline = AvPipeline(detector, confirm_frames=3)
+    frame = np.random.default_rng(0).random(
+        (3, detector.config.input_size, detector.config.input_size)
+    ).astype(np.float32)
+    benchmark(lambda: pipeline.step(frame))
+
+
+def test_clean_run_follows_arrow(traces):
+    """The clean vehicle should confirm the lane arrow and follow it."""
+    clean, _ = traces
+    actions = [t.decision.action for t in clean]
+    assert Action.FOLLOW_ARROW in actions
+
+
+def test_attack_perturbs_behaviour(traces):
+    """Decals change at least some frames' driving action."""
+    clean, attacked = traces
+    changed = sum(
+        1 for c, a in zip(clean, attacked)
+        if c.decision.action != a.decision.action
+    )
+    assert changed >= 1

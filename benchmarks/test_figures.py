@@ -1,0 +1,192 @@
+"""Figures 2-8 — the paper's visual artifacts, regenerated as image files.
+
+Each test renders the corresponding figure's content into ``artifacts/``
+(viewable PPM/PGM images plus an ASCII preview in the test output) and
+asserts the structural properties the figure is meant to show.
+
+* Fig. 2 — a training batch: three consecutive frames with decals at
+  different rotation angles.
+* Fig. 3 — the different-angle camera setting (left / center / right).
+* Fig. 4 — digital vs. simulated attack frames (clean environment).
+* Fig. 5 — digital vs. real-world attack frames (printed + degraded).
+* Fig. 6 — decal layouts for N ∈ {2, 4, 6, 8}.
+* Fig. 7 — generated decals for the four shapes.
+* Fig. 8 — decals at k ∈ {20, 40, 60, 80}.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eot import EOTPipeline
+from repro.nn import Tensor
+from repro.patch import (
+    apply_patches,
+    placement_offsets,
+    shape_image,
+    soft_background_mask,
+)
+from repro.scene import challenge_trajectory, render_frame, render_run
+from repro.scene.video import sample_training_frames
+from repro.utils import ascii_preview, save_image
+
+
+def _save(artifacts_dir, name, image):
+    path = os.path.join(artifacts_dir, name)
+    save_image(image, path)
+    return path
+
+
+class TestFig2BatchSamples:
+    def test_three_consecutive_frames_with_rotated_decals(
+        self, workbench, artifacts_dir, benchmark
+    ):
+        scenario = workbench.scenario()
+        rng = np.random.default_rng(2)
+        frames = sample_training_frames(
+            scenario, rng, 3, placement_offsets(4), 1.5,
+            consecutive=True, group=3, degrade_fraction=0.0,
+        )
+        pipeline = EOTPipeline.with_tricks(frozenset({"rotation"}))
+        patch = Tensor(shape_image("star", 40)[None])
+        rendered = []
+        for i, frame in enumerate(frames):
+            patches, alphas = [], []
+            for _ in frame.placements:
+                transformed, _, _ = pipeline.sample_and_apply(patch, rng)
+                patches.append(transformed)
+                alphas.append(soft_background_mask(transformed))
+            out = benchmark.pedantic(
+                apply_patches, args=(frame.image, patches, alphas, frame.placements),
+                iterations=1, rounds=1,
+            ) if i == 0 else apply_patches(frame.image, patches, alphas, frame.placements)
+            image = out.data[0]
+            rendered.append(image)
+            _save(artifacts_dir, f"fig2_batch_frame{i}.ppm", image)
+        print()
+        print("Fig. 2 — batch sample (frame 0):")
+        print(ascii_preview(rendered[0], 48))
+        # Consecutive frames: object grows (camera approaches).
+        assert frames[0].pose.distance > frames[2].pose.distance
+        # Decals visibly change the frames.
+        clean = frames[0].image
+        assert not np.allclose(rendered[0], clean)
+
+
+class TestFig3AngleSetting:
+    def test_left_center_right_positions(self, workbench, artifacts_dir, benchmark):
+        scenario = workbench.scenario()
+        columns = {}
+        for setting in ("-15", "0", "+15"):
+            poses = challenge_trajectory(f"angle/{setting}")
+            frame = benchmark.pedantic(
+                render_frame, args=(scenario, poses[len(poses) // 2],
+                                    np.random.default_rng(3)),
+                iterations=1, rounds=1,
+            ) if setting == "0" else render_frame(
+                scenario, poses[len(poses) // 2], np.random.default_rng(3)
+            )
+            assert frame.target_box_xywh is not None
+            columns[setting] = float(frame.target_box_xywh[0])
+            _save(artifacts_dir, f"fig3_angle_{setting}.ppm", frame.image)
+        assert columns["-15"] < columns["0"] < columns["+15"]
+
+
+class TestFig4SimulatedPair:
+    def test_digital_and_simulated_frames(self, workbench, artifacts_dir):
+        attack = workbench.train_attack()
+        scenario = workbench.scenario()
+        poses = challenge_trajectory("speed/slow")
+        rng = np.random.default_rng(4)
+        digital = render_frame(scenario, poses[-1], rng,
+                               decals=attack.deploy(physical=False))
+        _save(artifacts_dir, "fig4_digital.ppm", digital.image)
+        simulated = render_frame(scenario, poses[-1], rng,
+                                 decals=attack.deploy(physical=False))
+        _save(artifacts_dir, "fig4_simulated.ppm", simulated.image)
+        print()
+        print("Fig. 4 — attack frame (digital):")
+        print(ascii_preview(digital.image, 48))
+        assert digital.target_box_xywh is not None
+
+
+class TestFig5RealWorldPair:
+    def test_printed_decals_differ_from_digital(self, workbench, artifacts_dir):
+        attack = workbench.train_attack()
+        scenario = workbench.scenario()
+        poses = challenge_trajectory("speed/slow")
+        digital = render_frame(scenario, poses[-1], np.random.default_rng(5),
+                               decals=attack.deploy(physical=False))
+        physical = render_frame(
+            scenario, poses[-1], np.random.default_rng(5),
+            decals=attack.deploy(physical=True, rng=np.random.default_rng(6)),
+            physical=True,
+        )
+        _save(artifacts_dir, "fig5_digital.ppm", digital.image)
+        _save(artifacts_dir, "fig5_physical.ppm", physical.image)
+        assert not np.allclose(digital.image, physical.image)
+
+
+class TestFig6Layouts:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_layout_renders_n_decals(self, workbench, artifacts_dir, n):
+        scenario = workbench.scenario()
+        rng = np.random.default_rng(6)
+        frames = sample_training_frames(
+            scenario, rng, 1, placement_offsets(n), 1.2,
+            consecutive=False, degrade_fraction=0.0,
+        )
+        frame = frames[0]
+        assert len(frame.placements) == n
+        patch = Tensor(shape_image("star", 40)[None])
+        patches = [patch] * n
+        alphas = [soft_background_mask(patch)] * n
+        out = apply_patches(frame.image, patches, alphas, frame.placements)
+        _save(artifacts_dir, f"fig6_layout_n{n}.ppm", out.data[0])
+
+    def test_total_area_constant_across_n(self):
+        from repro.patch import patch_world_size
+
+        areas = {
+            n: n * patch_world_size(60, n_patches=n, constant_total_area=True) ** 2
+            for n in (2, 4, 6, 8)
+        }
+        reference = areas[4]
+        for n, area in areas.items():
+            assert area == pytest.approx(reference, rel=1e-6)
+
+
+class TestFig7Shapes:
+    def test_generated_patch_per_shape(self, workbench, artifacts_dir):
+        from repro.gan import GanTrainConfig, PatchDiscriminator, PatchGenerator, train_gan
+
+        previews = {}
+        for shape in ("star", "circle", "square", "triangle"):
+            generator = PatchGenerator(patch_size=24, latent_dim=8,
+                                       base_channels=16, seed=7)
+            discriminator = PatchDiscriminator(patch_size=24, seed=8)
+            train_gan(generator, discriminator, shape,
+                      GanTrainConfig(steps=30, batch_size=8, learning_rate=1e-3))
+            patch = generator(
+                Tensor(generator.sample_latent(1, np.random.default_rng(0)))
+            ).data[0]
+            previews[shape] = patch
+            _save(artifacts_dir, f"fig7_shape_{shape}.pgm", patch)
+        # Different shape priors give different decals.
+        flat = [p.ravel() for p in previews.values()]
+        assert not all(np.allclose(flat[0], other) for other in flat[1:])
+
+
+class TestFig8Sizes:
+    @pytest.mark.parametrize("k", [20, 40, 60, 80])
+    def test_reference_decal_at_each_k(self, artifacts_dir, k):
+        image = shape_image("star", k, np.random.default_rng(1))
+        assert image.shape == (1, k, k)
+        _save(artifacts_dir, f"fig8_size_k{k}.pgm", image)
+
+    def test_world_footprint_monotone_in_k(self):
+        from repro.patch import patch_world_size
+
+        sizes = [patch_world_size(k) for k in (20, 40, 60, 80)]
+        assert sizes == sorted(sizes)

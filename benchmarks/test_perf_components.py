@@ -1,0 +1,93 @@
+"""Component performance benchmarks.
+
+Not a paper table — these quantify the cost of each pipeline stage on the
+numpy stack so profile regressions are visible: detector inference, the
+differentiable EOT chain, patch compositing, scene rendering and the
+physical degradation models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import TinyYolo, detections_from_outputs, reduced_config
+from repro.eot import EOTPipeline
+from repro.nn import Tensor, no_grad
+from repro.patch import apply_patches, placement_offsets, shape_image, soft_background_mask
+from repro.patch.apply import PixelPlacement
+from repro.scene import Camera, RoadScene, SceneObject, camera_degrade, print_patch, render_scene
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyYolo(reduced_config(input_size=96, width_multiplier=0.25), seed=0)
+
+
+def test_detector_forward(model, benchmark):
+    image = Tensor(np.random.default_rng(0).random((1, 3, 96, 96)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            return model(image)
+
+    benchmark(run)
+
+
+def test_detector_inference_with_nms(model, benchmark):
+    image = Tensor(np.random.default_rng(0).random((1, 3, 96, 96)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            outputs = model(image)
+        return detections_from_outputs(outputs, model.config, conf_threshold=0.1)
+
+    benchmark(run)
+
+
+def test_detector_backward(model, benchmark):
+    def run():
+        image = Tensor(
+            np.random.default_rng(0).random((1, 3, 96, 96)).astype(np.float32),
+            requires_grad=True,
+        )
+        coarse, fine = model(image)
+        (coarse.sum() + fine.sum()).backward()
+        return image.grad
+
+    benchmark(run)
+
+
+def test_eot_chain(benchmark):
+    pipeline = EOTPipeline.with_tricks(
+        frozenset({"resize", "rotation", "gamma", "perspective"})
+    )
+    patch = Tensor(shape_image("star", 60)[None], requires_grad=True)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: pipeline.sample_and_apply(patch, rng))
+
+
+def test_patch_compositing(benchmark):
+    frame = np.full((3, 96, 96), 0.4, dtype=np.float32)
+    patch = Tensor(shape_image("star", 60)[None], requires_grad=True)
+    alpha = soft_background_mask(patch)
+    placements = [PixelPlacement(60 + i, 30 + 10 * i, 14, height_px=10)
+                  for i in range(4)]
+    benchmark(lambda: apply_patches(frame, [patch] * 4, [alpha] * 4, placements))
+
+
+def test_scene_rendering(benchmark):
+    camera = Camera(image_size=96)
+    scene = RoadScene(objects=[SceneObject("mark", z=7.0)])
+    rng = np.random.default_rng(0)
+    benchmark(lambda: render_scene(scene, camera, rng))
+
+
+def test_print_model(benchmark):
+    patch = np.random.default_rng(0).random((3, 60, 60)).astype(np.float32)
+    rng = np.random.default_rng(1)
+    benchmark(lambda: print_patch(patch, rng))
+
+
+def test_capture_model(benchmark):
+    frame = np.random.default_rng(0).random((3, 96, 96)).astype(np.float32)
+    rng = np.random.default_rng(1)
+    benchmark(lambda: camera_degrade(frame, rng, speed_kmh=25.0))

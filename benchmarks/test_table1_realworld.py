@@ -1,0 +1,79 @@
+"""Table I — real-world comparison under the three challenges.
+
+Rows: w/o attack, ours (w/ 3 consecutive frames), ours (w/o consecutive
+frames), Sava et al. [34]. Columns: rotation {fix, slight}, speed {slow,
+normal, fast}, angles {−15°, 0°, +15°}. "Real-world" = simulator + printer
+model + capture degradation (DESIGN.md §2).
+
+Paper reference values (PWC / CWC):
+  w/o attack:      0% everywhere, no CWC.
+  ours (w/ 3cf):   92/80 | 78/45/26 | 70/78/74, CWC everywhere.
+  ours (w/o 3cf):  62/56 | 53/38/20 | 58/53/53, CWC except fast.
+  [34]:            46/38 | 34/19/10 | 22/34/30, CWC on a minority.
+
+We verify the orderings the paper argues, not the absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import DEFAULT_CHALLENGES, format_table
+
+
+def _mean_pwc(results):
+    return float(np.mean([r.pwc for r in results.values()]))
+
+
+@pytest.fixture(scope="module")
+def table1_rows(workbench):
+    rows = {}
+    rows["w/o attack"] = workbench.evaluate(None, physical=True)
+    ours = workbench.train_attack()
+    rows["ours (w/ 3 consec)"] = workbench.evaluate(ours, physical=True)
+    no_consec = workbench.train_attack(workbench.attack_config(consecutive=False))
+    rows["ours (w/o 3 consec)"] = workbench.evaluate(no_consec, physical=True)
+    sava = workbench.train_baseline()
+    rows["Sava et al. [34]"] = workbench.evaluate(sava, physical=True)
+    return rows
+
+
+def test_table1_report(table1_rows, benchmark, workbench):
+    """Regenerate Table I and benchmark the evaluation protocol."""
+    print()
+    print(format_table("Table I — real-world environment (PWC / CWC)",
+                       table1_rows, DEFAULT_CHALLENGES))
+
+    attack = workbench.train_attack()
+    benchmark(
+        lambda: workbench.evaluate(
+            attack, challenges=("rotation/fix",), physical=True, n_runs=1
+        )
+    )
+
+
+def test_no_attack_row_is_clean(table1_rows):
+    """The clean detector almost never emits the attacker's target class."""
+    for result in table1_rows["w/o attack"].values():
+        assert result.pwc <= 15.0
+        assert not result.cwc
+
+
+def test_ours_beats_no_consecutive_on_average(table1_rows):
+    """Consecutive-frame batches help in the dynamic evaluation (§IV-B)."""
+    ours = _mean_pwc(table1_rows["ours (w/ 3 consec)"])
+    ablated = _mean_pwc(table1_rows["ours (w/o 3 consec)"])
+    assert ours >= ablated - 5.0  # allow small seed noise, require no collapse
+
+
+def test_ours_beats_sava_baseline(table1_rows):
+    """The monochrome decal survives the physical gap; [34] does not."""
+    ours = _mean_pwc(table1_rows["ours (w/ 3 consec)"])
+    sava = _mean_pwc(table1_rows["Sava et al. [34]"])
+    assert ours > sava
+
+
+def test_attack_effective_somewhere(table1_rows):
+    """The attack produces substantial wrong-class rates in at least some
+    challenges (the paper's headline claim)."""
+    best = max(r.pwc for r in table1_rows["ours (w/ 3 consec)"].values())
+    assert best >= 30.0

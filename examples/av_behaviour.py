@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Behavioural impact: what the decals do to the *vehicle*, not the model.
+
+Runs the full AV perception stack — detector → 3-consecutive-frame
+confirmation → rule planner — over a clean approach video and over the
+same video with decals deployed, then compares the per-frame driving
+actions. This is the paper's conclusion ("erroneous responses") made
+measurable.
+
+Usage::
+
+    python examples/av_behaviour.py [--profile smoke|reduced] [--physical]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.av import Action, AvPipeline
+from repro.experiments import Workbench
+from repro.scene import challenge_trajectory, render_run
+
+
+def run_video(pipeline, scenario, decals, physical, seed=3):
+    poses = challenge_trajectory("speed/slow")
+    frames = render_run(scenario, poses, np.random.default_rng(seed),
+                        decals=decals, physical=physical)
+    traces = pipeline.run([f.image for f in frames])
+    return frames, traces
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=("smoke", "reduced"), default="smoke")
+    parser.add_argument("--physical", action="store_true")
+    args = parser.parse_args()
+
+    factory = Workbench.smoke if args.profile == "smoke" else Workbench.reduced
+    bench = factory(seed=0)
+    detector = bench.detector()
+    scenario = bench.scenario()
+    attack = bench.train_attack()
+    pipeline = AvPipeline(detector, confirm_frames=3)
+
+    _, clean_traces = run_video(pipeline, scenario, None, args.physical)
+    decals = attack.deploy(physical=args.physical, rng=np.random.default_rng(7))
+    _, attacked_traces = run_video(pipeline, scenario, decals, args.physical)
+
+    print(f"{'frame':>5}  {'clean action':>14}  {'attacked action':>16}")
+    changed = 0
+    for index, (clean, attacked) in enumerate(zip(clean_traces, attacked_traces)):
+        marker = "  <-- changed" if clean.decision.action != attacked.decision.action else ""
+        if marker:
+            changed += 1
+        print(f"{index:5d}  {clean.decision.action.value:>14}  "
+              f"{attacked.decision.action.value:>16}{marker}")
+
+    print()
+    print("clean action histogram:   ",
+          {a.value: n for a, n in AvPipeline.action_counts(clean_traces).items() if n})
+    print("attacked action histogram:",
+          {a.value: n for a, n in AvPipeline.action_counts(attacked_traces).items() if n})
+    print(f"{changed} of {len(clean_traces)} frames changed the vehicle's action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of *Road Decals as Trojans: Disrupting Autonomous Vehicle
+Navigation with Adversarial Patterns* (DSN 2024).
+
+Monochrome, shape-constrained adversarial road decals against YOLOv3-tiny,
+built entirely on a from-scratch numpy deep-learning stack:
+
+* :mod:`repro.nn` — autodiff tensors, conv nets, optimizers;
+* :mod:`repro.detection` — the YOLOv3-tiny victim detector;
+* :mod:`repro.gan` — the shape-constrained patch GAN;
+* :mod:`repro.eot` — differentiable Expectation Over Transformation;
+* :mod:`repro.patch` — decal shapes, masking, placement, compositing;
+* :mod:`repro.scene` — synthetic road world, trajectories, physical model;
+* :mod:`repro.attack` — the paper's attack (Eq. 1) and the Sava baseline;
+* :mod:`repro.eval` — PWC/CWC metrics and the challenge protocol;
+* :mod:`repro.experiments` — turnkey experiment harness used by the
+  benchmarks that regenerate every table and figure.
+
+Quickstart::
+
+    from repro.experiments import Workbench
+    bench = Workbench.reduced(seed=0)
+    attack = bench.train_attack()
+    results = bench.evaluate(attack, physical=True)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+results versus the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

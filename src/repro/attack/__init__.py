@@ -1,0 +1,27 @@
+"""`repro.attack` — the paper's decal attack and the Sava et al. baseline."""
+
+from .artifacts import (
+    cached_path,
+    load_attack,
+    load_baseline,
+    save_attack,
+    save_baseline,
+)
+from .baseline_sava import SavaBaselineResult, train_sava_baseline
+from .config import PAPER_TRICKS, AttackConfig
+from .trainer import AttackResult, attack_loss, train_patch_attack
+
+__all__ = [
+    "AttackConfig",
+    "PAPER_TRICKS",
+    "AttackResult",
+    "train_patch_attack",
+    "attack_loss",
+    "SavaBaselineResult",
+    "train_sava_baseline",
+    "save_attack",
+    "load_attack",
+    "save_baseline",
+    "load_baseline",
+    "cached_path",
+]

@@ -1,0 +1,83 @@
+"""Persistence for trained attack artifacts.
+
+Attacks are the expensive step of the pipeline; benchmarks cache results on
+disk keyed by :meth:`AttackConfig.cache_key` so re-running a table only
+re-trains what changed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Optional
+
+import numpy as np
+
+from ..utils.logging import TrainLog
+from .baseline_sava import SavaBaselineResult
+from .config import AttackConfig
+from .trainer import AttackResult
+
+__all__ = ["save_attack", "load_attack", "save_baseline", "load_baseline", "cached_path"]
+
+
+def _config_to_json(config: AttackConfig) -> str:
+    payload = asdict(config)
+    payload["tricks"] = sorted(payload["tricks"])
+    return json.dumps(payload)
+
+
+def _config_from_json(payload: str) -> AttackConfig:
+    data = json.loads(payload)
+    data["tricks"] = frozenset(data["tricks"])
+    if "universal_styles" in data:
+        data["universal_styles"] = tuple(data["universal_styles"])
+    return AttackConfig(**data)
+
+
+def cached_path(directory: str, config: AttackConfig, kind: str = "attack") -> str:
+    """Deterministic artifact path for a configuration."""
+    return os.path.join(directory, f"{kind}_{config.cache_key()}.npz")
+
+
+def save_attack(result: AttackResult, path: str) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(
+        path,
+        patch=result.patch,
+        alpha=result.alpha,
+        world_size_m=np.float64(result.world_size_m),
+        config_json=np.str_(_config_to_json(result.config)),
+    )
+
+
+def load_attack(path: str) -> AttackResult:
+    with np.load(path) as archive:
+        return AttackResult(
+            patch=archive["patch"],
+            alpha=archive["alpha"],
+            config=_config_from_json(str(archive["config_json"])),
+            history=TrainLog("attack(loaded)"),
+            world_size_m=float(archive["world_size_m"]),
+        )
+
+
+def save_baseline(result: SavaBaselineResult, path: str) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(
+        path,
+        patch_rgb=result.patch_rgb,
+        world_size_m=np.float64(result.world_size_m),
+        config_json=np.str_(_config_to_json(result.config)),
+    )
+
+
+def load_baseline(path: str) -> SavaBaselineResult:
+    with np.load(path) as archive:
+        return SavaBaselineResult(
+            patch_rgb=archive["patch_rgb"],
+            config=_config_from_json(str(archive["config_json"])),
+            history=TrainLog("sava(loaded)"),
+            world_size_m=float(archive["world_size_m"]),
+        )

@@ -1,0 +1,375 @@
+"""Joint GAN + attack training (the paper's Eq. 1).
+
+The trainer alternates:
+
+* a **discriminator** step on real Four-Shapes samples vs. detached fakes
+  (first two terms of Eq. 1), and
+* a **generator** step whose loss is the adversarial term plus
+  ``α · L_f`` (Eq. 2): the deployment patch is EOT-transformed per decal
+  instance, background-removed, composited into a batch of training frames
+  — runs of 3 consecutive approach frames when ``consecutive`` is on — and
+  pushed through the frozen detector; ``L_f`` is the cross-entropy of the
+  class logits at the victim object's cells toward the target class, plus a
+  small objectness term that keeps the object *detected* (just wrongly).
+
+Training frames come from :func:`repro.scene.video.sample_training_frames`
+— the digital stage of the paper's pipeline. Physical robustness is
+trained in, not hoped for: the patch passes through a differentiable
+printer response (printability by design, §II-B) and a fraction of
+composites pass through a differentiable reparameterization of the capture
+model (:func:`_capture_augment`), so the decal that ships is the decal the
+camera will actually see. The full stochastic physical stage (printing +
+capture degradation) is then applied at evaluation time in
+`repro.eval.protocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..detection.config import CLASS_NAMES
+from ..detection.model import TinyYolo
+from ..eot.compose import EOTPipeline
+from ..eot.sampler import EOTSampler
+from ..gan.discriminator import PatchDiscriminator
+from ..gan.generator import PatchGenerator
+from ..gan.losses import discriminator_loss, generator_adversarial_loss
+from ..gan.trainer import GanTrainConfig, train_gan
+from ..nn import Adam, Tensor, clip_grad_norm, concatenate
+from ..nn import functional as F
+from ..patch.apply import apply_patches
+from ..patch.mask import hard_background_mask, soft_background_mask
+from ..patch.placement import patch_world_size, placement_offsets
+from ..patch.shapes import sample_batch
+from ..scene.physical import print_patch
+from ..scene.video import AttackScenario, DeployedDecals, TrainingFrame, sample_training_frames
+from ..utils.logging import TrainLog
+from ..utils.rng import derive_seed
+from .config import AttackConfig
+
+__all__ = ["AttackResult", "train_patch_attack", "attack_loss"]
+
+
+@dataclass
+class AttackResult:
+    """A trained decal attack ready for deployment."""
+
+    patch: np.ndarray           # (1, k, k) monochrome appearance in [0, 1]
+    alpha: np.ndarray           # (k, k) hard cut-out mask
+    config: AttackConfig
+    history: TrainLog
+    world_size_m: float
+
+    def deploy(self, physical: bool = False,
+               rng: Optional[np.random.Generator] = None) -> DeployedDecals:
+        """Materialize the decal set for scene rendering.
+
+        With ``physical=True`` the patch first passes through the printer
+        model — the digital→physical gap of the paper's §IV-B.
+        """
+        rgb = np.repeat(self.patch, 3, axis=0)
+        if physical:
+            if rng is None:
+                rng = np.random.default_rng(derive_seed(self.config.seed, "print"))
+            rgb = print_patch(rgb, rng)
+        return DeployedDecals(
+            patch_rgb=rgb,
+            alpha=self.alpha,
+            world_size_m=self.world_size_m,
+            offsets=placement_offsets(self.config.n_patches),
+        )
+
+
+def attack_loss(
+    outputs: Tuple[Tensor, Tensor],
+    target_boxes: Sequence[np.ndarray],
+    model: TinyYolo,
+    target_label: int,
+    objectness_weight: float,
+    targeted: bool = True,
+) -> Tensor:
+    """The L_f of Eq. 2 for a batch.
+
+    Targeted mode (paper): gathers class logits from both heads at the grid
+    cells containing each victim box center (all anchors), applies softmax
+    cross-entropy toward the target class, and adds a BCE term that pulls
+    objectness up so the detector keeps *seeing* an object there.
+
+    Untargeted mode (disappearance extension): pushes objectness at those
+    cells toward zero instead, hiding the victim from the detector.
+    """
+    config = model.config
+    per_anchor = 5 + config.num_classes
+    num_anchors = config.anchors_per_head
+    total: Tensor = Tensor(0.0)
+    terms = 0
+    for raw, stride in zip(outputs, config.strides):
+        n = raw.shape[0]
+        s = config.input_size // stride
+        grid = raw.reshape((n, num_anchors, per_anchor, s, s)).transpose((0, 1, 3, 4, 2))
+        batch_idx: List[int] = []
+        anchor_idx: List[int] = []
+        row_idx: List[int] = []
+        col_idx: List[int] = []
+        for i, box in enumerate(target_boxes):
+            cx, cy = float(box[0]), float(box[1])
+            col = min(int(cx / stride), s - 1)
+            row = min(int(cy / stride), s - 1)
+            for a in range(num_anchors):
+                batch_idx.append(i)
+                anchor_idx.append(a)
+                row_idx.append(row)
+                col_idx.append(col)
+        index = (
+            np.asarray(batch_idx),
+            np.asarray(anchor_idx),
+            np.asarray(row_idx),
+            np.asarray(col_idx),
+        )
+        cells = grid[index]             # (P, 5+C)
+        class_logits = cells[:, 5:]
+        obj_logits = cells[:, 4]
+        if targeted:
+            targets = np.full(len(batch_idx), target_label, dtype=np.int64)
+            class_term = F.cross_entropy(class_logits, targets)
+            obj_term = F.bce_with_logits(
+                obj_logits, np.ones(len(batch_idx), dtype=np.float32)
+            )
+            total = total + class_term + objectness_weight * obj_term
+        else:
+            # Disappearance: drive objectness to zero at the victim cells.
+            obj_term = F.bce_with_logits(
+                obj_logits, np.zeros(len(batch_idx), dtype=np.float32)
+            )
+            total = total + obj_term
+        terms += 1
+    return total * (1.0 / max(terms, 1))
+
+
+def _capture_augment(image: Tensor, rng: np.random.Generator) -> Tensor:
+    """EOT over the capture model (differentiable w.r.t. the image).
+
+    Samples the same distortions :func:`repro.scene.physical.camera_degrade`
+    applies at evaluation time — illumination field, shadow band, blur,
+    sensor noise — but as fixed numpy constants multiplied/added onto the
+    composited tensor, so gradients still reach the patch. This is the
+    reparameterized-EOT trick: expectation over capture conditions, not
+    just over patch transforms.
+    """
+    from ..eot.transforms import blur3
+    from ..scene.physical import CaptureModel, _illumination_field, _shadow_band
+
+    model = CaptureModel()
+    _, _, h, w = image.shape
+    field = _illumination_field((h, w), rng, model.illumination_amplitude)
+    out = image * field[None, None]
+    if rng.random() < model.shadow_probability:
+        out = out * _shadow_band((h, w), rng, model.shadow_strength)[None, None]
+    if rng.random() < 0.7:
+        out = blur3(out)
+    noise = rng.normal(0.0, model.noise_sigma, size=(1, 3, h, w)).astype(np.float32)
+    return (out + noise).clip(0.0, 1.0)
+
+
+def _composite_batch(
+    frames: Sequence[TrainingFrame],
+    patch: Tensor,
+    pipeline: EOTPipeline,
+    rng: np.random.Generator,
+    capture_probability: float = 0.5,
+) -> Tuple[Tensor, List[np.ndarray]]:
+    """EOT-transform and paste the patch into every frame (differentiable).
+
+    The patch first passes through the differentiable printer response
+    (printability-by-design, §II-B) and the alpha mask is computed from the
+    *pre-print* patch so gamut compression cannot erase the silhouette.
+    A ``capture_probability`` fraction of composited frames then pass
+    through the differentiable capture-EOT so the decal works on what the
+    camera actually records, not on ideal pixels.
+    """
+    from ..eot.transforms import print_response
+
+    printed = print_response(patch)
+    composited = []
+    boxes = []
+    for frame in frames:
+        patches = []
+        alphas = []
+        for _ in frame.placements:
+            transformed, alpha, _ = pipeline.sample_and_apply(
+                printed, rng, alpha=soft_background_mask(patch)
+            )
+            patches.append(transformed)
+            alphas.append(alpha)
+        image = apply_patches(frame.image, patches, alphas, frame.placements)
+        if rng.random() < capture_probability:
+            image = _capture_augment(image, rng)
+        composited.append(image)
+        boxes.append(frame.target_box_xywh)
+    return concatenate(composited, axis=0), boxes
+
+
+def _batch_frames(
+    pool: Sequence[TrainingFrame],
+    config: AttackConfig,
+    rng: np.random.Generator,
+) -> List[TrainingFrame]:
+    """Draw a training batch — whole consecutive runs when configured."""
+    if config.consecutive:
+        runs = len(pool) // config.group
+        chosen = rng.choice(runs, size=config.batch_frames // config.group, replace=False)
+        batch: List[TrainingFrame] = []
+        for run in chosen:
+            batch.extend(pool[run * config.group:(run + 1) * config.group])
+        return batch
+    indices = rng.choice(len(pool), size=config.batch_frames, replace=False)
+    return [pool[i] for i in indices]
+
+
+def train_patch_attack(
+    model: TinyYolo,
+    scenario: AttackScenario,
+    config: Optional[AttackConfig] = None,
+    log: Optional[TrainLog] = None,
+) -> AttackResult:
+    """Train the paper's decal attack against a frozen detector.
+
+    Returns the deployment-ready :class:`AttackResult`. The detector's
+    parameters are not modified (white-box access means gradients flow
+    *through* it, not *into* it).
+    """
+    config = config or AttackConfig()
+    log = log or TrainLog("attack")
+    if config.target_class not in CLASS_NAMES:
+        raise ValueError(f"unknown target class {config.target_class!r}")
+    target_label = CLASS_NAMES.index(config.target_class)
+    if scenario.target_class != config.victim_class:
+        raise ValueError(
+            f"scenario target {scenario.target_class!r} != config victim "
+            f"{config.victim_class!r}"
+        )
+
+    rng = np.random.default_rng(derive_seed(config.seed, "attack"))
+    model.eval()
+    # Freeze the victim: gradients flow *through* the detector (white-box
+    # access) but never *into* it. Restored on exit so a caller can keep
+    # fine-tuning the detector afterwards.
+    detector_params = model.parameters()
+    frozen_state = [p.requires_grad for p in detector_params]
+    for param in detector_params:
+        param.requires_grad = False
+    try:
+        return _train_with_frozen_detector(
+            model, scenario, config, log, rng, target_label
+        )
+    finally:
+        for param, state in zip(detector_params, frozen_state):
+            param.requires_grad = state
+
+
+def _train_with_frozen_detector(
+    model: TinyYolo,
+    scenario: AttackScenario,
+    config: AttackConfig,
+    log: TrainLog,
+    rng: np.random.Generator,
+    target_label: int,
+) -> AttackResult:
+    generator = PatchGenerator(config.k, latent_dim=config.latent_dim,
+                               seed=derive_seed(config.seed, "gen"))
+    discriminator = PatchDiscriminator(config.k, seed=derive_seed(config.seed, "disc"))
+
+    # Phase 1: warm-up so G starts on the shape manifold.
+    if config.warmup_steps > 0:
+        train_gan(
+            generator,
+            discriminator,
+            config.shape,
+            GanTrainConfig(
+                steps=config.warmup_steps,
+                batch_size=config.gan_batch,
+                learning_rate=config.learning_rate,
+                seed=derive_seed(config.seed, "warmup"),
+            ),
+        )
+
+    # Pre-render the training-frame pool (the paper's scene photographs).
+    world_size = patch_world_size(
+        config.k,
+        n_patches=config.n_patches,
+        constant_total_area=config.constant_total_area,
+    )
+    offsets = placement_offsets(config.n_patches)
+    pool = sample_training_frames(
+        scenario,
+        np.random.default_rng(derive_seed(config.seed, "frames")),
+        config.frame_pool,
+        offsets,
+        world_size,
+        consecutive=config.consecutive,
+        group=config.group,
+        style_seeds=config.universal_styles or None,
+    )
+
+    pipeline = EOTPipeline.with_tricks(config.tricks)
+    g_optimizer = Adam(generator.parameters(), lr=config.learning_rate)
+    d_optimizer = Adam(discriminator.parameters(), lr=config.learning_rate)
+    generator.train()
+    discriminator.train()
+
+    # The deployment latent: the attack term always optimizes this patch.
+    z_deploy = generator.sample_latent(1, np.random.default_rng(derive_seed(config.seed, "z")))
+
+    for step in range(config.steps):
+        # -- discriminator ------------------------------------------------
+        real = sample_batch(config.shape, config.k, config.gan_batch, rng)
+        z_noise = generator.sample_latent(config.gan_batch, rng)
+        fake = generator(Tensor(z_noise))
+        d_loss = discriminator_loss(
+            discriminator(Tensor(real)), discriminator(fake.detach())
+        )
+        d_optimizer.zero_grad()
+        d_loss.backward()
+        clip_grad_norm(discriminator.parameters(), config.grad_clip)
+        d_optimizer.step()
+
+        # -- generator: adversarial + α · attack ---------------------------
+        fake = generator(Tensor(z_noise))
+        adv = generator_adversarial_loss(discriminator(fake))
+
+        patch = generator(Tensor(z_deploy))
+        frames = _batch_frames(pool, config, rng)
+        images, boxes = _composite_batch(
+            frames, patch, pipeline, rng,
+            capture_probability=config.capture_probability,
+        )
+        outputs = model(images)
+        attack = attack_loss(outputs, boxes, model, target_label,
+                             config.objectness_weight, targeted=config.targeted)
+
+        g_loss = adv + config.alpha * attack
+        if not np.isfinite(g_loss.data):
+            raise FloatingPointError(f"non-finite generator loss at step {step}")
+        g_optimizer.zero_grad()
+        g_loss.backward()
+        clip_grad_norm(generator.parameters(), config.grad_clip)
+        g_optimizer.step()
+
+        if step % 10 == 0 or step == config.steps - 1:
+            log.log(step, d_loss=float(d_loss.data), adv=float(adv.data),
+                    attack=float(attack.data), g_loss=float(g_loss.data))
+
+    generator.eval()
+    discriminator.eval()
+    final_patch = generator(Tensor(z_deploy)).data[0]
+    alpha = hard_background_mask(final_patch)
+    return AttackResult(
+        patch=final_patch.astype(np.float32),
+        alpha=alpha,
+        config=config,
+        history=log,
+        world_size_m=world_size,
+    )

@@ -1,0 +1,22 @@
+"""`repro.av` — the AV reaction substrate behind the paper's CWC metric.
+
+The paper's threat model assumes a car only acts on detections confirmed
+over consecutive frames; this package implements that confirmation rule,
+a rule-based planner, and the glue pipeline so attacks can be evaluated by
+their *behavioural* effect on the vehicle.
+"""
+
+from .confirmation import ConfirmedObject, DetectionConfirmer, Track
+from .pipeline import AvPipeline, FrameTrace
+from .planner import Action, PlannerDecision, RulePlanner
+
+__all__ = [
+    "DetectionConfirmer",
+    "Track",
+    "ConfirmedObject",
+    "RulePlanner",
+    "Action",
+    "PlannerDecision",
+    "AvPipeline",
+    "FrameTrace",
+]

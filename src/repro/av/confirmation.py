@@ -1,0 +1,162 @@
+"""Detection confirmation — the AV-stack rule behind the paper's CWC.
+
+The paper's key observation is that "an object is confirmed by AVs only
+after the object is detected for consecutive frames" (§I), which is why a
+patch that fools single frames does not actually fool a car and why CWC
+demands three consecutive wrong-class frames.
+
+This module implements that confirmation logic as a small multi-object
+tracker: detections are associated across frames by IoU, each track keeps
+a per-class consecutive-hit counter, and a track becomes *confirmed* for a
+class once the counter reaches the threshold. The planner
+(:mod:`repro.av.planner`) only reacts to confirmed objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..detection.boxes import iou_matrix
+from ..detection.decode import Detection
+
+__all__ = ["Track", "ConfirmedObject", "DetectionConfirmer"]
+
+#: Matching the paper: three consecutive frames confirm an object.
+DEFAULT_CONFIRM_FRAMES = 3
+
+
+@dataclass
+class Track:
+    """One tracked object hypothesis."""
+
+    track_id: int
+    box_xyxy: np.ndarray
+    class_id: int
+    score: float
+    consecutive_hits: int = 1
+    missed_frames: int = 0
+    confirmed: bool = False
+
+    def update(self, detection: Detection) -> None:
+        """Consume a matched detection for the current frame."""
+        self.box_xyxy = detection.box_xyxy
+        self.score = detection.score
+        self.missed_frames = 0
+        if detection.class_id == self.class_id:
+            self.consecutive_hits += 1
+        else:
+            # Class flip restarts the consecutive count under the new class.
+            self.class_id = detection.class_id
+            self.consecutive_hits = 1
+            self.confirmed = False
+
+    def mark_missed(self) -> None:
+        self.missed_frames += 1
+        self.consecutive_hits = 0
+
+
+@dataclass(frozen=True)
+class ConfirmedObject:
+    """A confirmation event exposed to the planner."""
+
+    track_id: int
+    class_id: int
+    box_xyxy: np.ndarray
+    score: float
+
+
+class DetectionConfirmer:
+    """IoU tracker with per-class consecutive-frame confirmation.
+
+    Parameters
+    ----------
+    confirm_frames:
+        Consecutive same-class detections required before an object is
+        confirmed (the paper's rule uses 3).
+    iou_threshold:
+        Minimum IoU for frame-to-frame association.
+    max_missed:
+        Frames a track may go undetected before it is dropped.
+    """
+
+    def __init__(self, confirm_frames: int = DEFAULT_CONFIRM_FRAMES,
+                 iou_threshold: float = 0.3, max_missed: int = 2):
+        if confirm_frames < 1:
+            raise ValueError("confirm_frames must be >= 1")
+        self.confirm_frames = confirm_frames
+        self.iou_threshold = iou_threshold
+        self.max_missed = max_missed
+        self.tracks: List[Track] = []
+        self._next_id = 0
+        self.frame_index = 0
+
+    def reset(self) -> None:
+        self.tracks = []
+        self._next_id = 0
+        self.frame_index = 0
+
+    # ------------------------------------------------------------------
+    def update(self, detections: Sequence[Detection]) -> List[ConfirmedObject]:
+        """Advance one frame; returns objects confirmed as of this frame."""
+        self.frame_index += 1
+        unmatched = list(range(len(detections)))
+
+        if self.tracks and detections:
+            track_boxes = np.stack([t.box_xyxy for t in self.tracks])
+            det_boxes = np.stack([d.box_xyxy for d in detections])
+            ious = iou_matrix(track_boxes, det_boxes)
+            # Greedy association in descending IoU order.
+            pairs = []
+            for t_index in range(len(self.tracks)):
+                for d_index in range(len(detections)):
+                    pairs.append((ious[t_index, d_index], t_index, d_index))
+            pairs.sort(reverse=True, key=lambda p: p[0])
+            used_tracks: set = set()
+            used_dets: set = set()
+            for iou, t_index, d_index in pairs:
+                if iou < self.iou_threshold:
+                    break
+                if t_index in used_tracks or d_index in used_dets:
+                    continue
+                self.tracks[t_index].update(detections[d_index])
+                used_tracks.add(t_index)
+                used_dets.add(d_index)
+            unmatched = [i for i in range(len(detections)) if i not in used_dets]
+            for t_index, track in enumerate(self.tracks):
+                if t_index not in used_tracks:
+                    track.mark_missed()
+        else:
+            for track in self.tracks:
+                track.mark_missed()
+
+        for d_index in unmatched:
+            detection = detections[d_index]
+            self.tracks.append(
+                Track(
+                    track_id=self._next_id,
+                    box_xyxy=detection.box_xyxy,
+                    class_id=detection.class_id,
+                    score=detection.score,
+                )
+            )
+            self._next_id += 1
+
+        self.tracks = [t for t in self.tracks if t.missed_frames <= self.max_missed]
+
+        confirmed: List[ConfirmedObject] = []
+        for track in self.tracks:
+            if track.consecutive_hits >= self.confirm_frames:
+                track.confirmed = True
+            if track.confirmed and track.missed_frames == 0:
+                confirmed.append(
+                    ConfirmedObject(
+                        track_id=track.track_id,
+                        class_id=track.class_id,
+                        box_xyxy=track.box_xyxy,
+                        score=track.score,
+                    )
+                )
+        return confirmed

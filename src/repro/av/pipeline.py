@@ -1,0 +1,82 @@
+"""End-to-end AV perception pipeline: detector → confirmation → planner.
+
+Glues the victim detector, the consecutive-frame confirmation rule, and
+the rule planner into one object that consumes raw frames — the system the
+paper's threat model actually targets. Running an attack video through it
+shows the *behavioural* consequence of the decals (an extension beyond the
+paper's PWC/CWC tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..detection.decode import Detection, detections_from_outputs
+from ..detection.model import TinyYolo
+from ..nn import Tensor, no_grad
+from .confirmation import ConfirmedObject, DetectionConfirmer
+from .planner import Action, PlannerDecision, RulePlanner
+
+__all__ = ["FrameTrace", "AvPipeline"]
+
+
+@dataclass
+class FrameTrace:
+    """Everything the pipeline produced for one frame."""
+
+    detections: List[Detection]
+    confirmed: List[ConfirmedObject]
+    decision: PlannerDecision
+
+
+class AvPipeline:
+    """The full perception-to-action stack under attack.
+
+    Parameters
+    ----------
+    detector:
+        A (fine-tuned) :class:`~repro.detection.model.TinyYolo`.
+    confirm_frames:
+        Consecutive frames required to confirm (paper: 3).
+    conf_threshold:
+        Detector confidence threshold.
+    """
+
+    def __init__(self, detector: TinyYolo, confirm_frames: int = 3,
+                 conf_threshold: float = 0.3):
+        self.detector = detector
+        self.conf_threshold = conf_threshold
+        self.confirmer = DetectionConfirmer(confirm_frames=confirm_frames)
+        self.planner = RulePlanner(detector.config.input_size)
+
+    def reset(self) -> None:
+        self.confirmer.reset()
+
+    def step(self, frame: np.ndarray) -> FrameTrace:
+        """Process one CHW frame."""
+        with no_grad():
+            outputs = self.detector(Tensor(frame[None]))
+        detections = detections_from_outputs(
+            outputs, self.detector.config, conf_threshold=self.conf_threshold
+        )[0]
+        confirmed = self.confirmer.update(detections)
+        decision = self.planner.decide(confirmed)
+        return FrameTrace(detections=detections, confirmed=confirmed,
+                          decision=decision)
+
+    def run(self, frames: Sequence[np.ndarray]) -> List[FrameTrace]:
+        """Process a whole video (resets state first)."""
+        self.reset()
+        return [self.step(frame) for frame in frames]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def action_counts(traces: Sequence[FrameTrace]) -> dict:
+        """Histogram of planner actions over a run."""
+        counts = {action: 0 for action in Action}
+        for trace in traces:
+            counts[trace.decision.action] += 1
+        return counts

@@ -1,0 +1,113 @@
+"""A rule-based AV reaction layer.
+
+The paper's conclusion warns that misread road markings "can lead to
+incorrect judgments ... potentially resulting in erroneous responses".
+This module makes that concrete: a small deterministic planner maps
+*confirmed* objects (from :class:`repro.av.confirmation.DetectionConfirmer`)
+to driving actions, so the end-to-end effect of a decal attack — not just
+the detector flip — can be measured.
+
+Rules (per frame, highest priority first):
+
+* confirmed **person** or **bicycle** in the driving corridor → ``BRAKE``;
+* confirmed **car** close ahead → ``SLOW``;
+* confirmed **mark** (lane arrow) → ``FOLLOW_ARROW`` (lane guidance);
+* confirmed **word** (painted text, e.g. "SLOW") → ``SLOW``;
+* nothing confirmed → ``CRUISE``.
+
+A successful wrong-class attack (arrow → word) therefore changes the
+vehicle's behaviour from lane guidance to an unnecessary slow-down — or,
+with other targets, worse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..detection.config import CLASS_NAMES
+from .confirmation import ConfirmedObject
+
+__all__ = ["Action", "PlannerDecision", "RulePlanner"]
+
+
+class Action(enum.Enum):
+    """Discrete driving actions of the rule planner."""
+
+    CRUISE = "cruise"
+    SLOW = "slow"
+    BRAKE = "brake"
+    FOLLOW_ARROW = "follow_arrow"
+
+
+@dataclass(frozen=True)
+class PlannerDecision:
+    """The planner's per-frame output with its triggering object (if any)."""
+
+    action: Action
+    trigger: Optional[ConfirmedObject] = None
+
+    @property
+    def reason(self) -> str:
+        if self.trigger is None:
+            return "no confirmed objects"
+        return f"{CLASS_NAMES[self.trigger.class_id]} confirmed (track {self.trigger.track_id})"
+
+
+class RulePlanner:
+    """Maps confirmed objects to actions inside a driving corridor.
+
+    Parameters
+    ----------
+    image_size:
+        Frame resolution; the corridor is the central band of the image.
+    corridor_fraction:
+        Width of the corridor as a fraction of the frame.
+    near_fraction:
+        Objects whose box bottom is below this image fraction count as
+        "close ahead".
+    """
+
+    def __init__(self, image_size: int, corridor_fraction: float = 0.5,
+                 near_fraction: float = 0.55):
+        self.image_size = image_size
+        self.corridor_fraction = corridor_fraction
+        self.near_fraction = near_fraction
+
+    def _in_corridor(self, box_xyxy: np.ndarray) -> bool:
+        center_x = (box_xyxy[0] + box_xyxy[2]) / 2.0
+        half = self.corridor_fraction * self.image_size / 2.0
+        return abs(center_x - self.image_size / 2.0) <= half
+
+    def _near(self, box_xyxy: np.ndarray) -> bool:
+        return box_xyxy[3] >= self.near_fraction * self.image_size
+
+    def decide(self, confirmed: Sequence[ConfirmedObject]) -> PlannerDecision:
+        """One planning step over this frame's confirmed objects."""
+        person = CLASS_NAMES.index("person")
+        bicycle = CLASS_NAMES.index("bicycle")
+        car = CLASS_NAMES.index("car")
+        mark = CLASS_NAMES.index("mark")
+        word = CLASS_NAMES.index("word")
+
+        for obj in confirmed:
+            if obj.class_id in (person, bicycle) and self._in_corridor(obj.box_xyxy):
+                return PlannerDecision(Action.BRAKE, obj)
+        for obj in confirmed:
+            if obj.class_id == car and self._in_corridor(obj.box_xyxy) and self._near(obj.box_xyxy):
+                return PlannerDecision(Action.SLOW, obj)
+        for obj in confirmed:
+            if obj.class_id == mark and self._in_corridor(obj.box_xyxy):
+                return PlannerDecision(Action.FOLLOW_ARROW, obj)
+        for obj in confirmed:
+            if obj.class_id == word and self._in_corridor(obj.box_xyxy):
+                return PlannerDecision(Action.SLOW, obj)
+        return PlannerDecision(Action.CRUISE)
+
+    def drive(self, confirmed_per_frame: Sequence[Sequence[ConfirmedObject]]
+              ) -> List[PlannerDecision]:
+        """Run the planner over a whole video's confirmation stream."""
+        return [self.decide(confirmed) for confirmed in confirmed_per_frame]

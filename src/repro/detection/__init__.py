@@ -1,0 +1,61 @@
+"""`repro.detection` — the YOLOv3-tiny object-detection substrate.
+
+Implements the victim model of the paper: the darknet yolov3-tiny topology,
+head decoding, NMS, target assignment, the training loss, a fine-tuning
+loop, and mAP evaluation.
+"""
+
+from .anchors import anchor_fitness, kmeans_anchors
+from .augment import AugmentConfig, augment_sample, horizontal_flip, photometric_jitter, translate
+from .boxes import (
+    box_area,
+    clip_boxes,
+    iou_matrix,
+    iou_pairwise,
+    xywh_to_xyxy,
+    xyxy_to_xywh,
+)
+from .config import CLASS_NAMES, TinyYoloConfig, reduced_config
+from .decode import DecodedHead, Detection, decode_head, decode_heads, detections_from_outputs
+from .loss import YoloLossResult, yolo_loss
+from .metrics import MapResult, average_precision, evaluate_map
+from .model import TinyYolo
+from .nms import non_max_suppression
+from .targets import GroundTruth, HeadTargets, build_targets
+from .train import DetectorTrainConfig, train_detector
+
+__all__ = [
+    "CLASS_NAMES",
+    "TinyYoloConfig",
+    "reduced_config",
+    "TinyYolo",
+    "DecodedHead",
+    "Detection",
+    "decode_head",
+    "decode_heads",
+    "detections_from_outputs",
+    "GroundTruth",
+    "HeadTargets",
+    "build_targets",
+    "YoloLossResult",
+    "yolo_loss",
+    "DetectorTrainConfig",
+    "train_detector",
+    "MapResult",
+    "average_precision",
+    "evaluate_map",
+    "non_max_suppression",
+    "xywh_to_xyxy",
+    "xyxy_to_xywh",
+    "box_area",
+    "iou_pairwise",
+    "iou_matrix",
+    "clip_boxes",
+    "kmeans_anchors",
+    "anchor_fitness",
+    "AugmentConfig",
+    "augment_sample",
+    "horizontal_flip",
+    "photometric_jitter",
+    "translate",
+]

@@ -1,0 +1,63 @@
+"""Anchor utilities.
+
+The darknet anchors are defined for 416² input in ``config.py``; this module
+adds k-means anchor re-estimation so a dataset at a different scale (e.g.
+the reduced synthetic profile) can use anchors matched to its box-size
+distribution — the same procedure the YOLO authors used to pick the defaults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["kmeans_anchors", "anchor_fitness"]
+
+
+def _shape_iou(wh: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """IoU between (N,2) box sizes and (K,2) anchor sizes, center-aligned."""
+    inter = (
+        np.minimum(wh[:, None, 0], centers[None, :, 0])
+        * np.minimum(wh[:, None, 1], centers[None, :, 1])
+    )
+    union = wh[:, 0:1] * wh[:, 1:2] + centers[None, :, 0] * centers[None, :, 1] - inter
+    return inter / np.maximum(union, 1e-12)
+
+
+def kmeans_anchors(
+    box_sizes: Sequence[Tuple[float, float]],
+    k: int = 6,
+    iterations: int = 50,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """Cluster box (w, h) sizes into ``k`` anchors with IoU distance.
+
+    Returns anchors sorted by area ascending (fine head first, as darknet
+    orders them).
+    """
+    wh = np.asarray(box_sizes, dtype=np.float32).reshape(-1, 2)
+    if len(wh) < k:
+        raise ValueError(f"need at least {k} boxes to fit {k} anchors, got {len(wh)}")
+    rng = np.random.default_rng(seed)
+    centers = wh[rng.choice(len(wh), size=k, replace=False)].copy()
+    for _ in range(iterations):
+        assignment = _shape_iou(wh, centers).argmax(axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = wh[assignment == j]
+            if len(members):
+                new_centers[j] = np.median(members, axis=0)
+        if np.allclose(new_centers, centers, atol=1e-4):
+            break
+        centers = new_centers
+    order = np.argsort(centers[:, 0] * centers[:, 1])
+    return [tuple(map(float, centers[i])) for i in order]
+
+
+def anchor_fitness(box_sizes: Sequence[Tuple[float, float]],
+                   anchors: Sequence[Tuple[float, float]]) -> float:
+    """Mean best-anchor IoU over the dataset (higher is better)."""
+    wh = np.asarray(box_sizes, dtype=np.float32).reshape(-1, 2)
+    centers = np.asarray(anchors, dtype=np.float32).reshape(-1, 2)
+    return float(_shape_iou(wh, centers).max(axis=1).mean())

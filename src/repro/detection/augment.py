@@ -1,0 +1,98 @@
+"""Training-time data augmentation for the detector.
+
+Standard detection augmentations operating on (image, GroundTruth) pairs:
+horizontal flip (with box mirroring), photometric jitter, and box-safe
+random translation. The fine-tune loop applies these per batch when
+enabled, improving the small synthetic dataset's effective size — the
+analogue of the augmentation darknet applies during the paper's
+fine-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .targets import GroundTruth
+
+__all__ = ["AugmentConfig", "horizontal_flip", "photometric_jitter",
+           "translate", "augment_sample"]
+
+Sample = Tuple[np.ndarray, GroundTruth]
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Probabilities and ranges of the augmentation pipeline."""
+
+    flip_probability: float = 0.5
+    jitter_probability: float = 0.5
+    brightness_range: Tuple[float, float] = (-0.12, 0.12)
+    contrast_range: Tuple[float, float] = (0.85, 1.15)
+    translate_probability: float = 0.3
+    max_translate_fraction: float = 0.08
+
+
+def horizontal_flip(image: np.ndarray, truth: GroundTruth) -> Sample:
+    """Mirror the image left-right and reflect box centers."""
+    flipped = image[:, :, ::-1].copy()
+    width = image.shape[2]
+    boxes = truth.boxes_xywh.copy()
+    if len(boxes):
+        boxes[:, 0] = width - boxes[:, 0]
+    return flipped, GroundTruth(boxes, truth.labels.copy())
+
+
+def photometric_jitter(image: np.ndarray, rng: np.random.Generator,
+                       config: AugmentConfig) -> np.ndarray:
+    """Random brightness shift and contrast scale (boxes unaffected)."""
+    brightness = rng.uniform(*config.brightness_range)
+    contrast = rng.uniform(*config.contrast_range)
+    mean = image.mean()
+    jittered = (image - mean) * contrast + mean + brightness
+    return np.clip(jittered, 0.0, 1.0).astype(np.float32)
+
+
+def translate(image: np.ndarray, truth: GroundTruth,
+              rng: np.random.Generator, config: AugmentConfig) -> Sample:
+    """Shift the image by a few pixels, dropping boxes pushed off-frame."""
+    _, height, width = image.shape
+    max_dy = int(config.max_translate_fraction * height)
+    max_dx = int(config.max_translate_fraction * width)
+    dy = int(rng.integers(-max_dy, max_dy + 1)) if max_dy else 0
+    dx = int(rng.integers(-max_dx, max_dx + 1)) if max_dx else 0
+    shifted = np.zeros_like(image)
+    src_y0, dst_y0 = max(0, -dy), max(0, dy)
+    src_x0, dst_x0 = max(0, -dx), max(0, dx)
+    copy_h = height - abs(dy)
+    copy_w = width - abs(dx)
+    shifted[:, dst_y0:dst_y0 + copy_h, dst_x0:dst_x0 + copy_w] = (
+        image[:, src_y0:src_y0 + copy_h, src_x0:src_x0 + copy_w]
+    )
+    boxes = truth.boxes_xywh.copy()
+    labels = truth.labels.copy()
+    if len(boxes):
+        boxes[:, 0] += dx
+        boxes[:, 1] += dy
+        keep = (
+            (boxes[:, 0] > 0) & (boxes[:, 0] < width)
+            & (boxes[:, 1] > 0) & (boxes[:, 1] < height)
+        )
+        boxes, labels = boxes[keep], labels[keep]
+    return shifted, GroundTruth(boxes, labels)
+
+
+def augment_sample(image: np.ndarray, truth: GroundTruth,
+                   rng: np.random.Generator,
+                   config: AugmentConfig = AugmentConfig()) -> Sample:
+    """Apply the full augmentation pipeline to one sample."""
+    out_image, out_truth = image, truth
+    if rng.random() < config.flip_probability:
+        out_image, out_truth = horizontal_flip(out_image, out_truth)
+    if rng.random() < config.jitter_probability:
+        out_image = photometric_jitter(out_image, rng, config)
+    if rng.random() < config.translate_probability:
+        out_image, out_truth = translate(out_image, out_truth, rng, config)
+    return out_image, out_truth

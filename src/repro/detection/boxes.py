@@ -1,0 +1,73 @@
+"""Bounding-box geometry: format conversion and IoU.
+
+Boxes are numpy arrays whose last axis is 4. Two formats appear in the
+codebase:
+
+* ``xywh`` — center x, center y, width, height (YOLO's native format);
+* ``xyxy`` — left, top, right, bottom corners.
+
+All functions are vectorized over arbitrary leading axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xywh_to_xyxy",
+    "xyxy_to_xywh",
+    "box_area",
+    "iou_pairwise",
+    "iou_matrix",
+    "clip_boxes",
+]
+
+
+def xywh_to_xyxy(boxes: np.ndarray) -> np.ndarray:
+    boxes = np.asarray(boxes, dtype=np.float32)
+    cx, cy, w, h = boxes[..., 0], boxes[..., 1], boxes[..., 2], boxes[..., 3]
+    half_w, half_h = w / 2.0, h / 2.0
+    return np.stack([cx - half_w, cy - half_h, cx + half_w, cy + half_h], axis=-1)
+
+
+def xyxy_to_xywh(boxes: np.ndarray) -> np.ndarray:
+    boxes = np.asarray(boxes, dtype=np.float32)
+    x0, y0, x1, y1 = boxes[..., 0], boxes[..., 1], boxes[..., 2], boxes[..., 3]
+    return np.stack([(x0 + x1) / 2.0, (y0 + y1) / 2.0, x1 - x0, y1 - y0], axis=-1)
+
+
+def box_area(boxes_xyxy: np.ndarray) -> np.ndarray:
+    boxes_xyxy = np.asarray(boxes_xyxy, dtype=np.float32)
+    w = np.maximum(boxes_xyxy[..., 2] - boxes_xyxy[..., 0], 0.0)
+    h = np.maximum(boxes_xyxy[..., 3] - boxes_xyxy[..., 1], 0.0)
+    return w * h
+
+
+def iou_pairwise(a_xyxy: np.ndarray, b_xyxy: np.ndarray) -> np.ndarray:
+    """Elementwise IoU of two equal-shaped box arrays."""
+    a = np.asarray(a_xyxy, dtype=np.float32)
+    b = np.asarray(b_xyxy, dtype=np.float32)
+    left = np.maximum(a[..., 0], b[..., 0])
+    top = np.maximum(a[..., 1], b[..., 1])
+    right = np.minimum(a[..., 2], b[..., 2])
+    bottom = np.minimum(a[..., 3], b[..., 3])
+    intersection = np.maximum(right - left, 0.0) * np.maximum(bottom - top, 0.0)
+    union = box_area(a) + box_area(b) - intersection
+    return np.where(union > 0, intersection / np.maximum(union, 1e-12), 0.0)
+
+
+def iou_matrix(a_xyxy: np.ndarray, b_xyxy: np.ndarray) -> np.ndarray:
+    """All-pairs IoU: shapes (N, 4) × (M, 4) → (N, M)."""
+    a = np.asarray(a_xyxy, dtype=np.float32).reshape(-1, 4)
+    b = np.asarray(b_xyxy, dtype=np.float32).reshape(-1, 4)
+    return iou_pairwise(a[:, None, :], b[None, :, :])
+
+
+def clip_boxes(boxes_xyxy: np.ndarray, width: float, height: float) -> np.ndarray:
+    """Clamp box corners to image bounds."""
+    boxes = np.asarray(boxes_xyxy, dtype=np.float32).copy()
+    boxes[..., 0] = np.clip(boxes[..., 0], 0, width)
+    boxes[..., 1] = np.clip(boxes[..., 1], 0, height)
+    boxes[..., 2] = np.clip(boxes[..., 2], 0, width)
+    boxes[..., 3] = np.clip(boxes[..., 3], 0, height)
+    return boxes

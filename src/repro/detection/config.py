@@ -1,0 +1,122 @@
+"""Configuration for the YOLOv3-tiny detector.
+
+The paper fine-tunes YOLOv3-tiny (pre-trained from ``darknet53.conv.74``) on
+a 5-class road dataset: person, word, mark, car, bicycle. The architecture
+here is the darknet ``yolov3-tiny.cfg`` topology; a width multiplier and a
+configurable input size let the same code run either at the paper's full
+scale (416², width 1.0) or at the laptop-scale profile used by tests and
+benchmarks (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["CLASS_NAMES", "TinyYoloConfig"]
+
+#: The paper's five fine-tuning labels (§IV).
+CLASS_NAMES: Tuple[str, ...] = ("person", "word", "mark", "car", "bicycle")
+
+#: darknet yolov3-tiny anchors (w, h) in pixels at 416² input.
+_FULL_ANCHORS_COARSE = ((81, 82), (135, 169), (344, 319))
+_FULL_ANCHORS_FINE = ((10, 14), (23, 27), (37, 58))
+_FULL_INPUT = 416
+
+
+@dataclass(frozen=True)
+class TinyYoloConfig:
+    """Hyper-parameters defining a YOLOv3-tiny instance.
+
+    Attributes
+    ----------
+    input_size:
+        Square input resolution; must be divisible by 32 (two heads at
+        strides 32 and 16).
+    num_classes:
+        Number of object classes (5 for the paper's road dataset).
+    width_multiplier:
+        Scales every channel count; 1.0 reproduces the original network,
+        0.25 is the default reduced profile for CPU runs.
+    class_names:
+        Human-readable labels, index-aligned with class ids.
+    """
+
+    input_size: int = 416
+    num_classes: int = len(CLASS_NAMES)
+    width_multiplier: float = 1.0
+    class_names: Tuple[str, ...] = CLASS_NAMES
+    #: Optional dataset-fitted anchors (6 (w, h) pairs, sorted by area
+    #: ascending: first 3 go to the fine head, last 3 to the coarse head).
+    #: ``None`` uses the darknet defaults rescaled to ``input_size``.
+    #: Re-estimating anchors per dataset is the standard YOLO recipe and is
+    #: required here because synthetic-scene boxes are smaller than COCO's.
+    custom_anchors: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.input_size % 32 != 0:
+            raise ValueError(f"input_size must be divisible by 32, got {self.input_size}")
+        if self.num_classes < 1:
+            raise ValueError("num_classes must be positive")
+        if not 0 < self.width_multiplier <= 1.0:
+            raise ValueError("width_multiplier must be in (0, 1]")
+        if len(self.class_names) != self.num_classes:
+            raise ValueError(
+                f"class_names has {len(self.class_names)} entries for "
+                f"{self.num_classes} classes"
+            )
+        if self.custom_anchors is not None:
+            anchors = tuple(tuple(map(float, a)) for a in self.custom_anchors)
+            if len(anchors) != 6 or any(len(a) != 2 for a in anchors):
+                raise ValueError("custom_anchors must be 6 (w, h) pairs")
+            object.__setattr__(self, "custom_anchors", anchors)
+
+    # -- derived quantities -------------------------------------------------
+    def channels(self, base: int) -> int:
+        """Scaled channel count (minimum 8, multiple of 4)."""
+        scaled = max(8, int(round(base * self.width_multiplier)))
+        return (scaled + 3) // 4 * 4
+
+    @property
+    def strides(self) -> Tuple[int, int]:
+        """Output strides of the coarse and fine detection heads."""
+        return (32, 16)
+
+    @property
+    def grid_sizes(self) -> Tuple[int, int]:
+        return (self.input_size // 32, self.input_size // 16)
+
+    @property
+    def anchors_per_head(self) -> int:
+        return 3
+
+    def anchors(self) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]:
+        """Anchor (w, h) pairs per head: (coarse-head, fine-head) lists."""
+        if self.custom_anchors is not None:
+            ordered = sorted(self.custom_anchors, key=lambda a: a[0] * a[1])
+            return list(ordered[3:]), list(ordered[:3])
+        scale = self.input_size / _FULL_INPUT
+        coarse = [(w * scale, h * scale) for w, h in _FULL_ANCHORS_COARSE]
+        fine = [(w * scale, h * scale) for w, h in _FULL_ANCHORS_FINE]
+        return coarse, fine
+
+    @property
+    def head_channels(self) -> int:
+        """Output channels of each detection head: 3 × (5 + num_classes)."""
+        return self.anchors_per_head * (5 + self.num_classes)
+
+
+def reduced_config(input_size: int = 96, width_multiplier: float = 0.25,
+                   num_classes: int = len(CLASS_NAMES),
+                   custom_anchors=None) -> TinyYoloConfig:
+    """The laptop-scale profile used across tests and benchmarks."""
+    names = CLASS_NAMES[:num_classes] if num_classes <= len(CLASS_NAMES) else tuple(
+        f"class{i}" for i in range(num_classes)
+    )
+    return TinyYoloConfig(
+        input_size=input_size,
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        class_names=names,
+        custom_anchors=custom_anchors,
+    )

@@ -1,0 +1,109 @@
+"""YOLOv3 training loss.
+
+Combines the standard components over both heads:
+
+* xy — MSE between σ(tx, ty) and the target cell offsets (positives);
+* wh — MSE between raw (tw, th) and log-space size targets (positives);
+* objectness — BCE with logits, positives vs. non-ignored negatives;
+* class — BCE with logits over independent per-class sigmoids (positives),
+  matching YOLOv3's multi-label head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+from .config import TinyYoloConfig
+from .targets import GroundTruth, HeadTargets, build_targets
+
+__all__ = ["YoloLossResult", "yolo_loss"]
+
+
+@dataclass
+class YoloLossResult:
+    """Total loss tensor plus detached per-component scalars for logging."""
+
+    total: Tensor
+    xy: float
+    wh: float
+    objectness: float
+    classification: float
+
+
+def _head_grid(raw: Tensor, num_anchors: int, per_anchor: int) -> Tensor:
+    n, channels, s, _ = raw.shape
+    return raw.reshape((n, num_anchors, per_anchor, s, s)).transpose((0, 1, 3, 4, 2))
+
+
+def yolo_loss(
+    outputs: Tuple[Tensor, Tensor],
+    ground_truths: Sequence[GroundTruth],
+    config: TinyYoloConfig,
+    box_scale: float = 2.0,
+    obj_scale: float = 1.0,
+    noobj_scale: float = 0.5,
+    class_scale: float = 1.0,
+) -> YoloLossResult:
+    """Compute the YOLOv3-tiny loss for a batch."""
+    targets = build_targets(ground_truths, config)
+    per_anchor = 5 + config.num_classes
+    num_anchors = config.anchors_per_head
+
+    total: Tensor = Tensor(0.0)
+    xy_value = wh_value = obj_value = cls_value = 0.0
+
+    for raw, head_targets in zip(outputs, targets):
+        grid = _head_grid(raw, num_anchors, per_anchor)
+        obj_logit = grid[..., 4]
+
+        pos = np.nonzero(head_targets.obj_mask)
+        neg = np.nonzero(head_targets.noobj_mask)
+
+        # Objectness: positives toward 1, non-ignored negatives toward 0.
+        if pos[0].size:
+            pos_logits = obj_logit[pos]
+            obj_pos = F.bce_with_logits(pos_logits, np.ones(pos[0].size, dtype=np.float32))
+        else:
+            obj_pos = Tensor(0.0)
+        if neg[0].size:
+            neg_logits = obj_logit[neg]
+            obj_neg = F.bce_with_logits(neg_logits, np.zeros(neg[0].size, dtype=np.float32))
+        else:
+            obj_neg = Tensor(0.0)
+        obj_term = obj_scale * obj_pos + noobj_scale * obj_neg
+
+        if pos[0].size:
+            txy_logits = grid[..., 0:2][pos]
+            twh_raw = grid[..., 2:4][pos]
+            cls_logits = grid[..., 5:][pos]
+            xy_term = F.mse_loss(F.sigmoid(txy_logits), head_targets.txy[pos])
+            wh_term = F.mse_loss(twh_raw, head_targets.twh[pos])
+            cls_term = F.bce_with_logits(cls_logits, head_targets.classes[pos])
+        else:
+            xy_term = Tensor(0.0)
+            wh_term = Tensor(0.0)
+            cls_term = Tensor(0.0)
+
+        head_total = (
+            box_scale * (xy_term + wh_term)
+            + obj_term
+            + class_scale * cls_term
+        )
+        total = total + head_total
+        xy_value += float(xy_term.data)
+        wh_value += float(wh_term.data)
+        obj_value += float(obj_term.data)
+        cls_value += float(cls_term.data)
+
+    return YoloLossResult(
+        total=total,
+        xy=xy_value,
+        wh=wh_value,
+        objectness=obj_value,
+        classification=cls_value,
+    )

@@ -1,0 +1,100 @@
+"""Detector quality metrics: precision/recall and mean average precision.
+
+The paper reports only that the clean detector is "quite stable"; we add a
+standard VOC-style mAP evaluation so the reproduction can demonstrate the
+fine-tuned detector is actually competent before attacking it (an extension
+noted in DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .boxes import iou_matrix, xywh_to_xyxy
+from .decode import Detection
+from .targets import GroundTruth
+
+__all__ = ["average_precision", "evaluate_map", "MapResult"]
+
+
+@dataclass
+class MapResult:
+    """mAP plus the per-class AP breakdown."""
+
+    map_value: float
+    per_class_ap: Dict[int, float]
+    per_class_counts: Dict[int, int]
+
+
+def average_precision(recalls: np.ndarray, precisions: np.ndarray) -> float:
+    """Area under the precision-recall curve (continuous VOC-2010 style)."""
+    recalls = np.concatenate([[0.0], recalls, [1.0]])
+    precisions = np.concatenate([[0.0], precisions, [0.0]])
+    # Make precision monotonically decreasing.
+    for i in range(len(precisions) - 2, -1, -1):
+        precisions[i] = max(precisions[i], precisions[i + 1])
+    changed = np.where(recalls[1:] != recalls[:-1])[0]
+    return float(((recalls[changed + 1] - recalls[changed]) * precisions[changed + 1]).sum())
+
+
+def evaluate_map(
+    detections: Sequence[Sequence[Detection]],
+    ground_truths: Sequence[GroundTruth],
+    num_classes: int,
+    iou_threshold: float = 0.5,
+) -> MapResult:
+    """Compute VOC-style mAP@``iou_threshold`` over a dataset.
+
+    ``detections[i]`` are the detections for image ``i`` whose truth is
+    ``ground_truths[i]``.
+    """
+    if len(detections) != len(ground_truths):
+        raise ValueError("detections and ground truths must align per image")
+
+    per_class_ap: Dict[int, float] = {}
+    per_class_counts: Dict[int, int] = {}
+    for class_id in range(num_classes):
+        records: List[Tuple[float, bool]] = []  # (score, is_true_positive)
+        total_truth = 0
+        for image_dets, truth in zip(detections, ground_truths):
+            truth_mask = truth.labels == class_id
+            truth_boxes = xywh_to_xyxy(truth.boxes_xywh[truth_mask])
+            total_truth += len(truth_boxes)
+            class_dets = sorted(
+                (d for d in image_dets if d.class_id == class_id),
+                key=lambda d: -d.score,
+            )
+            matched = np.zeros(len(truth_boxes), dtype=bool)
+            for det in class_dets:
+                if len(truth_boxes) == 0:
+                    records.append((det.score, False))
+                    continue
+                ious = iou_matrix(det.box_xyxy[None, :], truth_boxes)[0]
+                best = int(ious.argmax())
+                if ious[best] >= iou_threshold and not matched[best]:
+                    matched[best] = True
+                    records.append((det.score, True))
+                else:
+                    records.append((det.score, False))
+        per_class_counts[class_id] = total_truth
+        if total_truth == 0:
+            continue
+        if not records:
+            per_class_ap[class_id] = 0.0
+            continue
+        records.sort(key=lambda r: -r[0])
+        tp = np.cumsum([r[1] for r in records]).astype(np.float64)
+        fp = np.cumsum([not r[1] for r in records]).astype(np.float64)
+        recalls = tp / total_truth
+        precisions = tp / np.maximum(tp + fp, 1e-12)
+        per_class_ap[class_id] = average_precision(recalls, precisions)
+
+    if per_class_ap:
+        map_value = float(np.mean(list(per_class_ap.values())))
+    else:
+        map_value = 0.0
+    return MapResult(map_value=map_value, per_class_ap=per_class_ap,
+                     per_class_counts=per_class_counts)

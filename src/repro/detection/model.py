@@ -1,0 +1,116 @@
+"""YOLOv3-tiny network definition.
+
+Faithful to the darknet ``yolov3-tiny.cfg`` topology: 13 convolution layers,
+six max-pools (the last one stride-1), a route from layer 13 through a 1×1
+conv and 2× upsample that concatenates with layer 8's features, and two
+detection heads at strides 32 and 16 with 3 anchors each.
+
+The width multiplier in :class:`~repro.detection.config.TinyYoloConfig`
+scales every channel count so the identical topology trains in minutes on a
+CPU at the reduced profile (DESIGN.md §5) while ``width_multiplier=1.0``
+reconstructs the paper's ~8.7M-parameter network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .config import TinyYoloConfig
+
+__all__ = ["TinyYolo"]
+
+
+class TinyYolo(nn.Module):
+    """YOLOv3-tiny object detector.
+
+    ``forward`` returns the two raw head tensors; use
+    :func:`repro.detection.decode.decode_heads` to turn them into boxes,
+    objectness and class probabilities.
+    """
+
+    def __init__(self, config: TinyYoloConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(seed)
+        c = config.channels
+
+        # Backbone (layers 0-12 in darknet numbering).
+        self.conv1 = nn.ConvBlock(3, c(16), 3, rng=rng)
+        self.conv2 = nn.ConvBlock(c(16), c(32), 3, rng=rng)
+        self.conv3 = nn.ConvBlock(c(32), c(64), 3, rng=rng)
+        self.conv4 = nn.ConvBlock(c(64), c(128), 3, rng=rng)
+        self.conv5 = nn.ConvBlock(c(128), c(256), 3, rng=rng)  # route to fine head
+        self.conv6 = nn.ConvBlock(c(256), c(512), 3, rng=rng)
+        self.conv7 = nn.ConvBlock(c(512), c(1024), 3, rng=rng)
+
+        # Coarse head (stride 32).
+        self.conv8 = nn.ConvBlock(c(1024), c(256), 1, rng=rng)  # layer 13 route point
+        self.conv9 = nn.ConvBlock(c(256), c(512), 3, rng=rng)
+        self.head_coarse = nn.Conv2d(c(512), config.head_channels, 1, rng=rng)
+
+        # Fine head (stride 16) via upsample + concat with conv5 features.
+        self.conv10 = nn.ConvBlock(c(256), c(128), 1, rng=rng)
+        self.conv11 = nn.ConvBlock(c(128) + c(256), c(256), 3, rng=rng)
+        self.head_fine = nn.Conv2d(c(256), config.head_channels, 1, rng=rng)
+
+        self._initialize_heads()
+
+    def _initialize_heads(self) -> None:
+        """Bias objectness strongly negative so the untrained network starts
+        from 'no objects anywhere', which stabilizes early training."""
+        per_anchor = 5 + self.config.num_classes
+        for head in (self.head_coarse, self.head_fine):
+            bias = head.bias.data.reshape(self.config.anchors_per_head, per_anchor)
+            bias[:, 4] = -4.0
+            head.bias.data = bias.reshape(-1)
+
+    def forward(self, x: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
+        """Run the detector.
+
+        Parameters
+        ----------
+        x:
+            NCHW tensor, 3 channels, values in [0, 1], spatial size equal to
+            ``config.input_size``.
+
+        Returns
+        -------
+        (coarse, fine):
+            Raw head outputs with shape ``(N, 3*(5+C), S, S)`` at strides
+            32 and 16 respectively.
+        """
+        if x.shape[-1] != self.config.input_size or x.shape[-2] != self.config.input_size:
+            raise ValueError(
+                f"input spatial size {x.shape[-2:]} != configured "
+                f"{self.config.input_size}"
+            )
+        x = F.max_pool2d(self.conv1(x), 2, 2)
+        x = F.max_pool2d(self.conv2(x), 2, 2)
+        x = F.max_pool2d(self.conv3(x), 2, 2)
+        x = F.max_pool2d(self.conv4(x), 2, 2)
+        route_fine = self.conv5(x)
+        x = F.max_pool2d(route_fine, 2, 2)
+        x = self.conv6(x)
+        x = F.max_pool2d(x, 2, 1)  # darknet's stride-1 'same' pool
+        x = self.conv7(x)
+
+        route_13 = self.conv8(x)
+        coarse = self.head_coarse(self.conv9(route_13))
+
+        up = F.upsample_nearest(self.conv10(route_13), 2)
+        merged = nn.concatenate([up, route_fine], axis=1)
+        fine = self.head_fine(self.conv11(merged))
+        return coarse, fine
+
+    # ------------------------------------------------------------------
+    def checkpoint_metadata(self) -> dict:
+        """Metadata stored alongside checkpoints for compatibility checks."""
+        return {
+            "input_size": self.config.input_size,
+            "num_classes": self.config.num_classes,
+            "width_multiplier": self.config.width_multiplier,
+        }

@@ -1,0 +1,53 @@
+"""Non-maximum suppression.
+
+Per-class greedy NMS as used by darknet/YOLOv3: detections are processed in
+descending score order; a detection is dropped if it overlaps an already
+kept detection of the same class above the IoU threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .boxes import iou_pairwise
+
+__all__ = ["non_max_suppression"]
+
+
+def non_max_suppression(
+    boxes_xyxy: np.ndarray,
+    scores: np.ndarray,
+    class_ids: Optional[np.ndarray] = None,
+    iou_threshold: float = 0.45,
+    max_detections: int = 100,
+) -> List[int]:
+    """Return indices of kept boxes (descending score order).
+
+    If ``class_ids`` is None, suppression is class-agnostic.
+    """
+    boxes = np.asarray(boxes_xyxy, dtype=np.float32).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float32).reshape(-1)
+    if boxes.shape[0] != scores.shape[0]:
+        raise ValueError("boxes and scores must align")
+    if class_ids is None:
+        class_ids = np.zeros(len(scores), dtype=np.int64)
+    else:
+        class_ids = np.asarray(class_ids).reshape(-1)
+
+    order = np.argsort(-scores, kind="stable")
+    kept: List[int] = []
+    for idx in order:
+        if len(kept) >= max_detections:
+            break
+        suppressed = False
+        for kept_idx in kept:
+            if class_ids[kept_idx] != class_ids[idx]:
+                continue
+            if iou_pairwise(boxes[idx], boxes[kept_idx]) > iou_threshold:
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(int(idx))
+    return kept

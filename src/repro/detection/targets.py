@@ -1,0 +1,123 @@
+"""Ground-truth target assignment for YOLOv3-tiny training.
+
+Each ground-truth box is assigned to the single anchor (across both heads)
+whose shape best matches it by IoU, in the grid cell containing the box
+center — darknet's assignment rule. Anchors that overlap some ground truth
+above ``ignore_threshold`` but are not the best match are excluded from the
+no-object loss ("ignored"), again following darknet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .config import TinyYoloConfig
+
+__all__ = ["GroundTruth", "HeadTargets", "build_targets"]
+
+
+@dataclass
+class GroundTruth:
+    """Ground truth for one image: boxes in pixel xywh plus class ids."""
+
+    boxes_xywh: np.ndarray  # (M, 4) in input pixels
+    labels: np.ndarray      # (M,) int
+
+    def __post_init__(self) -> None:
+        self.boxes_xywh = np.asarray(self.boxes_xywh, dtype=np.float32).reshape(-1, 4)
+        self.labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        if self.boxes_xywh.shape[0] != self.labels.shape[0]:
+            raise ValueError("boxes and labels must align")
+
+
+@dataclass
+class HeadTargets:
+    """Dense target tensors for one head, shape (N, A, S, S, ·)."""
+
+    obj_mask: np.ndarray      # bool — positive anchors
+    noobj_mask: np.ndarray    # bool — anchors that contribute no-object loss
+    txy: np.ndarray           # (N, A, S, S, 2) sigmoid-space offsets
+    twh: np.ndarray           # (N, A, S, S, 2) log-space sizes
+    classes: np.ndarray       # (N, A, S, S, C) one-hot
+    stride: int
+
+
+def _shape_iou(wh_a: np.ndarray, wh_b: np.ndarray) -> np.ndarray:
+    """IoU of boxes sharing a common center: only widths/heights matter."""
+    inter = np.minimum(wh_a[..., 0], wh_b[..., 0]) * np.minimum(wh_a[..., 1], wh_b[..., 1])
+    union = wh_a[..., 0] * wh_a[..., 1] + wh_b[..., 0] * wh_b[..., 1] - inter
+    return inter / np.maximum(union, 1e-12)
+
+
+def build_targets(
+    ground_truths: Sequence[GroundTruth],
+    config: TinyYoloConfig,
+    ignore_threshold: float = 0.5,
+) -> List[HeadTargets]:
+    """Build per-head targets for a batch of ground truths."""
+    batch = len(ground_truths)
+    num_anchors = config.anchors_per_head
+    anchor_sets = config.anchors()
+    all_anchors = np.asarray(anchor_sets[0] + anchor_sets[1], dtype=np.float32)  # (6, 2)
+
+    heads: List[HeadTargets] = []
+    for head_index, stride in enumerate(config.strides):
+        s = config.input_size // stride
+        heads.append(
+            HeadTargets(
+                obj_mask=np.zeros((batch, num_anchors, s, s), dtype=bool),
+                noobj_mask=np.ones((batch, num_anchors, s, s), dtype=bool),
+                txy=np.zeros((batch, num_anchors, s, s, 2), dtype=np.float32),
+                twh=np.zeros((batch, num_anchors, s, s, 2), dtype=np.float32),
+                classes=np.zeros((batch, num_anchors, s, s, config.num_classes), dtype=np.float32),
+                stride=stride,
+            )
+        )
+
+    for image_index, gt in enumerate(ground_truths):
+        for box, label in zip(gt.boxes_xywh, gt.labels):
+            cx, cy, bw, bh = box
+            if bw <= 1.0 or bh <= 1.0:
+                continue  # degenerate box — skip rather than poison training
+            if label < 0 or label >= config.num_classes:
+                raise ValueError(f"label {label} out of range for {config.num_classes} classes")
+            shape_ious = _shape_iou(
+                np.asarray([bw, bh], dtype=np.float32)[None, :], all_anchors
+            )
+            best = int(shape_ious.argmax())
+            head_index, anchor_index = divmod(best, num_anchors)
+            head = heads[head_index]
+            stride = head.stride
+            s = config.input_size // stride
+            gx, gy = cx / stride, cy / stride
+            col = min(int(gx), s - 1)
+            row = min(int(gy), s - 1)
+            anchor_w, anchor_h = anchor_sets[head_index][anchor_index]
+
+            head.obj_mask[image_index, anchor_index, row, col] = True
+            head.noobj_mask[image_index, anchor_index, row, col] = False
+            head.txy[image_index, anchor_index, row, col] = (gx - col, gy - row)
+            head.twh[image_index, anchor_index, row, col] = (
+                np.log(max(bw / anchor_w, 1e-6)),
+                np.log(max(bh / anchor_h, 1e-6)),
+            )
+            head.classes[image_index, anchor_index, row, col] = 0.0
+            head.classes[image_index, anchor_index, row, col, label] = 1.0
+
+            # Ignore near-miss anchors in the same cell of every head.
+            for other_index, other in enumerate(heads):
+                other_stride = other.stride
+                other_s = config.input_size // other_stride
+                o_col = min(int(cx / other_stride), other_s - 1)
+                o_row = min(int(cy / other_stride), other_s - 1)
+                anchors_here = np.asarray(anchor_sets[other_index], dtype=np.float32)
+                ious = _shape_iou(
+                    np.asarray([bw, bh], dtype=np.float32)[None, :], anchors_here
+                )
+                ignore = ious > ignore_threshold
+                other.noobj_mask[image_index, ignore, o_row, o_col] = False
+
+    return heads

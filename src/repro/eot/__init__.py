@@ -1,0 +1,29 @@
+"""`repro.eot` — differentiable Expectation Over Transformation."""
+
+from .compose import EOTPipeline
+from .sampler import ALL_TRICKS, EOTSampler, tricks_from_numbers
+from .transforms import (
+    TRICK_NAMES,
+    TRICK_NUMBERS,
+    TransformParams,
+    brightness,
+    gamma,
+    perspective,
+    resize,
+    rotate,
+)
+
+__all__ = [
+    "EOTPipeline",
+    "EOTSampler",
+    "ALL_TRICKS",
+    "tricks_from_numbers",
+    "TransformParams",
+    "resize",
+    "rotate",
+    "brightness",
+    "gamma",
+    "perspective",
+    "TRICK_NAMES",
+    "TRICK_NUMBERS",
+]

@@ -1,0 +1,100 @@
+"""The EOT pipeline A(·) of the paper's Eq. 1.
+
+Applies a sampled transformation chain to a patch tensor in the fixed
+order resize → rotation → brightness → gamma → perspective. The pipeline
+also transforms the decal's alpha channel with the *geometric* subset of
+the chain so that the cut-out silhouette moves with the ink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Tensor
+from . import transforms as T
+from .sampler import ALL_TRICKS, EOTSampler
+
+__all__ = ["EOTPipeline"]
+
+
+@dataclass
+class EOTPipeline:
+    """Samples θ ∼ p_θ and applies A(patch, θ).
+
+    Parameters
+    ----------
+    sampler:
+        Draws transformation parameters for the enabled trick subset.
+    """
+
+    sampler: EOTSampler
+
+    @classmethod
+    def with_tricks(cls, tricks: FrozenSet[str] = ALL_TRICKS, **ranges) -> "EOTPipeline":
+        return cls(sampler=EOTSampler(tricks=frozenset(tricks), **ranges))
+
+    def apply(self, patch: Tensor, params: T.TransformParams) -> Tensor:
+        """Apply a fixed θ to a patch batch (N, C, k, k)."""
+        out = patch
+        if params.scale != 1.0:
+            out = T.resize(out, params.scale)
+        if params.angle_degrees != 0.0:
+            out = T.rotate(out, params.angle_degrees)
+        if params.brightness_delta != 0.0:
+            out = T.brightness(out, params.brightness_delta)
+        if params.gamma_value != 1.0:
+            out = T.gamma(out, params.gamma_value)
+        if params.perspective_tilt != 0.0:
+            out = T.perspective(out, params.perspective_tilt)
+        return out
+
+    def apply_geometric(self, alpha: Tensor, params: T.TransformParams) -> Tensor:
+        """Apply only the geometric part of θ (for the alpha channel).
+
+        Photometric tricks must not fade the decal's silhouette, so alpha
+        sees resize/rotation/perspective only. Out-of-range alpha samples
+        read 0 (transparent), unlike the patch's white background.
+        """
+        from ..nn import functional as F
+        import math
+
+        out = alpha
+        size = alpha.shape[-1]
+
+        def warp(grid_fn):
+            gy, gx = T._identity_grid(size)
+            src_x, src_y = grid_fn(gx, gy)
+            grid = np.stack([src_x, src_y], axis=-1)[None]
+            grid = np.repeat(grid, out.shape[0], axis=0).astype(np.float32)
+            return F.grid_sample(out, grid, padding_value=0.0)
+
+        if params.scale != 1.0:
+            factor = 1.0 / max(params.scale, 1e-3)
+            out = warp(lambda gx, gy: (gx * factor, gy * factor))
+        if params.angle_degrees != 0.0:
+            angle = math.radians(params.angle_degrees)
+            cos_a, sin_a = math.cos(angle), math.sin(angle)
+            out = warp(lambda gx, gy: (cos_a * gx - sin_a * gy, sin_a * gx + cos_a * gy))
+        if params.perspective_tilt != 0.0:
+            tilt = float(np.clip(params.perspective_tilt, 0.0, 0.95))
+            out = warp(
+                lambda gx, gy: (gx / (1.0 - tilt * (1.0 - (gy + 1.0) / 2.0)), gy)
+            )
+        return out
+
+    def sample_and_apply(
+        self,
+        patch: Tensor,
+        rng: np.random.Generator,
+        alpha: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Optional[Tensor], T.TransformParams]:
+        """Draw one θ and transform patch (and alpha if given)."""
+        params = self.sampler.sample(rng)
+        transformed = self.apply(patch, params)
+        transformed_alpha = (
+            self.apply_geometric(alpha, params) if alpha is not None else None
+        )
+        return transformed, transformed_alpha, params

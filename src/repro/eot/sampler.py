@@ -1,0 +1,71 @@
+"""Sampling distributions for EOT transformation parameters.
+
+`sample` draws one θ ∼ p_θ per call. The ranges follow the paper's setting:
+distances/speeds make the apparent decal size vary severalfold (resize),
+each of the N decals is laid at its own orientation (rotation, Fig. 2),
+lighting varies between garage and daylight (brightness/gamma), and the
+approach foreshortens the decal (perspective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Set
+
+import numpy as np
+
+from .transforms import TRICK_NAMES, TransformParams
+
+__all__ = ["EOTSampler", "ALL_TRICKS", "tricks_from_numbers"]
+
+ALL_TRICKS: FrozenSet[str] = frozenset(TRICK_NAMES)
+
+
+def tricks_from_numbers(numbers: Iterable[int]) -> FrozenSet[str]:
+    """Translate the paper's trick numbers (1)–(5) into names."""
+    from .transforms import TRICK_NUMBERS
+
+    names = set()
+    for number in numbers:
+        if number not in TRICK_NUMBERS:
+            raise KeyError(f"unknown EOT trick number {number}; valid: 1-5")
+        names.add(TRICK_NUMBERS[number])
+    return frozenset(names)
+
+
+@dataclass
+class EOTSampler:
+    """Draws transformation parameters for an enabled subset of tricks.
+
+    Disabled tricks stay at their identity value, so the same pipeline code
+    runs every row of the paper's Table IV ablation.
+    """
+
+    tricks: FrozenSet[str] = ALL_TRICKS
+    scale_range: tuple = (0.5, 1.3)
+    angle_range_degrees: tuple = (-180.0, 180.0)
+    brightness_range: tuple = (-0.2, 0.2)
+    gamma_range: tuple = (0.6, 1.7)
+    tilt_range: tuple = (0.0, 0.65)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.tricks) - ALL_TRICKS
+        if unknown:
+            raise ValueError(f"unknown EOT tricks: {sorted(unknown)}")
+        self.tricks = frozenset(self.tricks)
+
+    def sample(self, rng: np.random.Generator) -> TransformParams:
+        params = TransformParams()
+        if "resize" in self.tricks:
+            params.scale = float(rng.uniform(*self.scale_range))
+        if "rotation" in self.tricks:
+            params.angle_degrees = float(rng.uniform(*self.angle_range_degrees))
+        if "brightness" in self.tricks:
+            params.brightness_delta = float(rng.uniform(*self.brightness_range))
+        if "gamma" in self.tricks:
+            # Sample log-uniform so brightening and darkening are symmetric.
+            low, high = np.log(self.gamma_range[0]), np.log(self.gamma_range[1])
+            params.gamma_value = float(np.exp(rng.uniform(low, high)))
+        if "perspective" in self.tricks:
+            params.perspective_tilt = float(rng.uniform(*self.tilt_range))
+        return params

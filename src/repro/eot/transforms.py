@@ -1,0 +1,149 @@
+"""Differentiable Expectation-Over-Transformation (EOT) transforms.
+
+The paper's EOT pool (§IV-C) is five "tricks": (1) resize, (2) rotation,
+(3) brightness, (4) gamma, (5) perspective. Each transform here is
+differentiable with respect to the patch so the generator learns decals
+robust to the sampled distortion distribution — the core of Athalye et
+al.'s EOT [2] applied to road decals.
+
+Geometric transforms are implemented as sampling grids fed to
+:func:`repro.nn.functional.grid_sample`; photometric ones are direct tensor
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+
+__all__ = [
+    "TransformParams",
+    "resize",
+    "rotate",
+    "brightness",
+    "gamma",
+    "perspective",
+    "print_response",
+    "blur3",
+    "TRICK_NAMES",
+    "TRICK_NUMBERS",
+]
+
+#: Paper numbering of the five tricks (Table IV).
+TRICK_NUMBERS = {1: "resize", 2: "rotation", 3: "brightness", 4: "gamma", 5: "perspective"}
+TRICK_NAMES = {name: number for number, name in TRICK_NUMBERS.items()}
+
+
+@dataclass
+class TransformParams:
+    """One sampled θ from the EOT distribution p_θ (Eq. 1)."""
+
+    scale: float = 1.0            # resize factor
+    angle_degrees: float = 0.0    # in-plane rotation
+    brightness_delta: float = 0.0  # additive brightness
+    gamma_value: float = 1.0      # non-linear brightness
+    perspective_tilt: float = 0.0  # ground-plane foreshortening strength
+
+
+def _identity_grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    coords = np.linspace(-1.0, 1.0, size, dtype=np.float32)
+    gy, gx = np.meshgrid(coords, coords, indexing="ij")
+    return gy, gx
+
+
+def resize(patch: Tensor, scale: float) -> Tensor:
+    """Trick (1): scale the patch (bilinear); output keeps the input size by
+    sampling a zoomed grid, so compositions stay shape-stable."""
+    size = patch.shape[-1]
+    gy, gx = _identity_grid(size)
+    factor = 1.0 / max(scale, 1e-3)
+    grid = np.stack([gx * factor, gy * factor], axis=-1)[None]
+    grid = np.repeat(grid, patch.shape[0], axis=0)
+    # Out-of-range samples read the background (white = 1.0 for decals).
+    return F.grid_sample(patch, grid, padding_value=1.0)
+
+
+def rotate(patch: Tensor, angle_degrees: float) -> Tensor:
+    """Trick (2): in-plane rotation about the patch center."""
+    size = patch.shape[-1]
+    angle = math.radians(angle_degrees)
+    cos_a, sin_a = math.cos(angle), math.sin(angle)
+    gy, gx = _identity_grid(size)
+    src_x = cos_a * gx - sin_a * gy
+    src_y = sin_a * gx + cos_a * gy
+    grid = np.stack([src_x, src_y], axis=-1)[None]
+    grid = np.repeat(grid, patch.shape[0], axis=0)
+    return F.grid_sample(patch, grid, padding_value=1.0)
+
+
+def brightness(patch: Tensor, delta: float) -> Tensor:
+    """Trick (3): additive (linear) brightness shift, clipped to [0, 1]."""
+    return (patch + float(delta)).clip(0.0, 1.0)
+
+
+def gamma(patch: Tensor, value: float) -> Tensor:
+    """Trick (4): non-linear brightness ``p ** γ``.
+
+    The paper notes gamma beats linear brightness because print/lighting
+    response is non-linear; the clip keeps the base positive for the
+    fractional power's gradient.
+    """
+    if value <= 0:
+        raise ValueError(f"gamma must be positive, got {value}")
+    return patch.clip(1e-4, 1.0) ** float(value)
+
+
+def print_response(patch: Tensor, low: float = 0.06, high: float = 0.93,
+                   response_gamma: float = 1.15) -> Tensor:
+    """Differentiable printer response (gamut compression + ink gamma).
+
+    Mirrors :class:`repro.scene.physical.PrintModel` for monochrome content:
+    ink cannot reach pure black and paper is not pure white. Training the
+    generator *through* this map is the reproduction's counterpart of the
+    paper's printability-by-design argument (§II-B): the attack optimizes
+    the decal as it will actually look after printing.
+    """
+    compressed = patch.clip(1e-4, 1.0) ** response_gamma
+    return compressed * (high - low) + low
+
+
+def blur3(image: Tensor) -> Tensor:
+    """Differentiable 3×3 binomial blur applied per channel.
+
+    Approximates the defocus + motion blur of the capture model so decal
+    features that only exist at single-pixel scale are not rewarded during
+    attack training.
+    """
+    kernel = np.asarray(
+        [[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float32
+    ).reshape(1, 1, 3, 3) / 16.0
+    n, c, h, w = image.shape
+    flat = image.reshape((n * c, 1, h, w))
+    blurred = F.conv2d(flat, Tensor(kernel), stride=1, padding=1)
+    return blurred.reshape((n, c, h, w))
+
+
+def perspective(patch: Tensor, tilt: float) -> Tensor:
+    """Trick (5): ground-plane foreshortening.
+
+    ``tilt`` ∈ [0, ~0.8) squeezes the far (top) edge of the patch, exactly
+    the distortion a road decal undergoes as the camera approaches — the
+    paper found this trick matters most (Table IV).
+    """
+    tilt = float(np.clip(tilt, 0.0, 0.95))
+    size = patch.shape[-1]
+    gy, gx = _identity_grid(size)
+    # Rows near the top (gy=-1) come from a wider source span (squeeze) and
+    # the vertical coordinate is compressed non-linearly.
+    width_factor = 1.0 / (1.0 - tilt * (1.0 - (gy + 1.0) / 2.0))
+    src_x = gx * width_factor
+    src_y = gy
+    grid = np.stack([src_x, src_y], axis=-1)[None]
+    grid = np.repeat(grid, patch.shape[0], axis=0).astype(np.float32)
+    return F.grid_sample(patch, grid, padding_value=1.0)

@@ -1,0 +1,39 @@
+"""`repro.eval` — PWC/CWC metrics and the three-challenge protocol."""
+
+from .metrics import (
+    CWC_RUN_LENGTH,
+    FrameOutcome,
+    VideoResult,
+    classify_frame,
+    cwc,
+    missed_rate,
+    pwc,
+    score_video,
+)
+from .protocol import (
+    DEFAULT_CHALLENGES,
+    SPEED_ANGLE_CHALLENGES,
+    ChallengeResult,
+    evaluate_challenges,
+    run_challenge,
+)
+from .report import CHALLENGE_TITLES, format_row, format_table
+
+__all__ = [
+    "FrameOutcome",
+    "VideoResult",
+    "classify_frame",
+    "pwc",
+    "cwc",
+    "missed_rate",
+    "score_video",
+    "CWC_RUN_LENGTH",
+    "ChallengeResult",
+    "run_challenge",
+    "evaluate_challenges",
+    "DEFAULT_CHALLENGES",
+    "SPEED_ANGLE_CHALLENGES",
+    "format_table",
+    "format_row",
+    "CHALLENGE_TITLES",
+]

@@ -1,0 +1,115 @@
+"""The paper's attack-success metrics: PWC and CWC (§IV, Eq. 3).
+
+* **PWC** (Percentage of Wrong-Class): the fraction of video frames in
+  which the victim object is classified as the attacker's target class.
+* **CWC** (Continuous detection with Wrong-Class): whether the wrong class
+  is produced on **three consecutive frames** — the paper's model of when
+  an AV actually acts on a detection.
+
+Frame classification: among detections overlapping the victim object's
+ground-truth box (IoU ≥ ``iou_threshold``), the highest-scoring one defines
+the frame's class; frames with no overlapping detection are 'missed'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..detection.boxes import iou_matrix, xywh_to_xyxy
+from ..detection.decode import Detection
+
+__all__ = [
+    "FrameOutcome",
+    "classify_frame",
+    "pwc",
+    "cwc",
+    "missed_rate",
+    "VideoResult",
+    "score_video",
+]
+
+#: Number of consecutive wrong-class frames that triggers CWC (§IV).
+CWC_RUN_LENGTH = 3
+
+
+@dataclass
+class FrameOutcome:
+    """Per-frame classification of the victim object."""
+
+    predicted_class: Optional[int]  # None = object not detected at all
+    score: float = 0.0
+
+
+def classify_frame(
+    detections: Sequence[Detection],
+    target_box_xywh: Optional[np.ndarray],
+    iou_threshold: float = 0.25,
+) -> FrameOutcome:
+    """Determine what class the detector assigned to the victim object."""
+    if target_box_xywh is None:
+        return FrameOutcome(predicted_class=None)
+    target_xyxy = xywh_to_xyxy(np.asarray(target_box_xywh)[None, :])
+    best: Optional[Detection] = None
+    for det in detections:
+        iou = iou_matrix(det.box_xyxy[None, :], target_xyxy)[0, 0]
+        if iou < iou_threshold:
+            continue
+        if best is None or det.score > best.score:
+            best = det
+    if best is None:
+        return FrameOutcome(predicted_class=None)
+    return FrameOutcome(predicted_class=best.class_id, score=best.score)
+
+
+def pwc(outcomes: Sequence[FrameOutcome], target_label: int) -> float:
+    """Eq. 3: wrong-class frames over total frames, in percent."""
+    if not outcomes:
+        return 0.0
+    hits = sum(1 for o in outcomes if o.predicted_class == target_label)
+    return 100.0 * hits / len(outcomes)
+
+
+def cwc(outcomes: Sequence[FrameOutcome], target_label: int,
+        run_length: int = CWC_RUN_LENGTH) -> bool:
+    """True iff ``run_length`` consecutive frames show the target class."""
+    streak = 0
+    for outcome in outcomes:
+        if outcome.predicted_class == target_label:
+            streak += 1
+            if streak >= run_length:
+                return True
+        else:
+            streak = 0
+    return False
+
+
+def missed_rate(outcomes: Sequence[FrameOutcome]) -> float:
+    """Fraction of frames (percent) where the victim was not detected.
+
+    The success metric of the *untargeted* (disappearance) attack mode —
+    an extension beyond the paper's targeted PWC/CWC (DESIGN.md §6).
+    """
+    if not outcomes:
+        return 0.0
+    missed = sum(1 for o in outcomes if o.predicted_class is None)
+    return 100.0 * missed / len(outcomes)
+
+
+@dataclass
+class VideoResult:
+    """PWC/CWC of one evaluation video."""
+
+    pwc: float
+    cwc: bool
+    outcomes: List[FrameOutcome] = field(default_factory=list)
+
+
+def score_video(outcomes: Sequence[FrameOutcome], target_label: int) -> VideoResult:
+    return VideoResult(
+        pwc=pwc(outcomes, target_label),
+        cwc=cwc(outcomes, target_label),
+        outcomes=list(outcomes),
+    )

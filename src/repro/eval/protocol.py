@@ -1,0 +1,122 @@
+"""The paper's evaluation protocol (§IV).
+
+For a challenge (rotation / speed / angle setting) the protocol renders the
+corresponding video — optionally with deployed decals and the physical
+degradation model — runs the detector on every frame, classifies the victim
+object per frame, and reports PWC and CWC. Every number is averaged over
+three seeded runs, as the paper does ("we conduct three runs and average
+the results"); CWC is reported as the majority outcome of the runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..detection.config import CLASS_NAMES
+from ..detection.decode import detections_from_outputs
+from ..detection.model import TinyYolo
+from ..nn import Tensor, no_grad
+from ..scene.trajectory import CHALLENGES, challenge_trajectory
+from ..scene.video import AttackScenario, DeployedDecals, render_run
+from ..utils.rng import derive_seed
+from .metrics import FrameOutcome, VideoResult, classify_frame, score_video
+
+__all__ = [
+    "ChallengeResult",
+    "Deployable",
+    "run_challenge",
+    "evaluate_challenges",
+    "DEFAULT_CHALLENGES",
+    "SPEED_ANGLE_CHALLENGES",
+]
+
+#: All eight paper challenges (Table I columns).
+DEFAULT_CHALLENGES = tuple(CHALLENGES)
+#: The six-column subset used by the ablation tables (III-VI).
+SPEED_ANGLE_CHALLENGES = (
+    "speed/slow", "speed/normal", "speed/fast",
+    "angle/-15", "angle/0", "angle/+15",
+)
+
+#: Anything with ``.deploy(physical, rng) -> DeployedDecals``.
+Deployable = object
+
+
+@dataclass
+class ChallengeResult:
+    """Averaged outcome of one challenge."""
+
+    challenge: str
+    pwc: float
+    cwc: bool
+    runs: List[VideoResult] = field(default_factory=list)
+
+    def cell(self) -> str:
+        """Paper-style table cell, e.g. ``'78% / ✓'``."""
+        mark = "Y" if self.cwc else "X"
+        return f"{self.pwc:.0f}% / {mark}"
+
+
+def run_challenge(
+    model: TinyYolo,
+    scenario: AttackScenario,
+    challenge: str,
+    artifact: Optional[Deployable] = None,
+    target_class: str = "word",
+    physical: bool = False,
+    n_runs: int = 3,
+    seed: int = 0,
+    conf_threshold: float = 0.3,
+) -> ChallengeResult:
+    """Evaluate one challenge, averaging PWC over ``n_runs`` seeded runs."""
+    if challenge not in CHALLENGES:
+        raise KeyError(f"unknown challenge {challenge!r}")
+    target_label = CLASS_NAMES.index(target_class)
+    poses = challenge_trajectory(challenge)
+
+    runs: List[VideoResult] = []
+    for run_index in range(n_runs):
+        rng = np.random.default_rng(derive_seed(seed, "eval", challenge, run_index))
+        decals: Optional[DeployedDecals] = None
+        if artifact is not None:
+            decals = artifact.deploy(physical=physical, rng=rng)
+        frames = render_run(scenario, poses, rng, decals=decals, physical=physical)
+        outcomes: List[FrameOutcome] = []
+        with no_grad():
+            for frame in frames:
+                outputs = model(Tensor(frame.image[None]))
+                detections = detections_from_outputs(
+                    outputs, model.config, conf_threshold=conf_threshold
+                )[0]
+                outcomes.append(
+                    classify_frame(detections, frame.target_box_xywh)
+                )
+        runs.append(score_video(outcomes, target_label))
+
+    mean_pwc = float(np.mean([r.pwc for r in runs]))
+    majority_cwc = sum(r.cwc for r in runs) * 2 > len(runs)
+    return ChallengeResult(challenge=challenge, pwc=mean_pwc, cwc=majority_cwc, runs=runs)
+
+
+def evaluate_challenges(
+    model: TinyYolo,
+    scenario: AttackScenario,
+    artifact: Optional[Deployable] = None,
+    challenges: Sequence[str] = DEFAULT_CHALLENGES,
+    target_class: str = "word",
+    physical: bool = False,
+    n_runs: int = 3,
+    seed: int = 0,
+) -> Dict[str, ChallengeResult]:
+    """Run a set of challenges; returns challenge → result."""
+    return {
+        challenge: run_challenge(
+            model, scenario, challenge, artifact=artifact,
+            target_class=target_class, physical=physical,
+            n_runs=n_runs, seed=seed,
+        )
+        for challenge in challenges
+    }

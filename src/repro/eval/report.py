@@ -1,0 +1,65 @@
+"""Paper-style table formatting.
+
+Renders dictionaries of :class:`~repro.eval.protocol.ChallengeResult` as
+ASCII tables matching the layout of the paper's Tables I-VI, so benchmark
+output can be compared to the paper side by side (EXPERIMENTS.md records
+both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from .protocol import ChallengeResult
+
+__all__ = ["format_table", "format_row", "CHALLENGE_TITLES"]
+
+CHALLENGE_TITLES = {
+    "rotation/fix": "fix",
+    "rotation/slight": "slight rot.",
+    "speed/slow": "slow",
+    "speed/normal": "normal",
+    "speed/fast": "fast",
+    "angle/-15": "-15 deg",
+    "angle/0": "0 deg",
+    "angle/+15": "+15 deg",
+}
+
+
+def format_row(label: str, results: Mapping[str, ChallengeResult],
+               challenges: Sequence[str], width: int = 12) -> str:
+    cells = []
+    for challenge in challenges:
+        result = results.get(challenge)
+        cells.append(result.cell() if result is not None else "-")
+    return f"{label:<28s} | " + " | ".join(f"{cell:>{width}}" for cell in cells)
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, ChallengeResult]],
+    challenges: Sequence[str],
+    width: int = 12,
+    sink_path: str = "artifacts/tables.txt",
+) -> str:
+    """Render a full table; ``rows`` maps row label → challenge results.
+
+    Each rendered table is also appended to ``sink_path`` (pass ``None`` to
+    disable) so benchmark tables survive any pytest output capturing.
+    """
+    header = f"{'':<28s} | " + " | ".join(
+        f"{CHALLENGE_TITLES.get(c, c):>{width}}" for c in challenges
+    )
+    ruler = "-" * len(header)
+    lines = [title, ruler, header, ruler]
+    for label, results in rows.items():
+        lines.append(format_row(label, results, challenges, width))
+    lines.append(ruler)
+    table = "\n".join(lines)
+    if sink_path:
+        import os
+
+        os.makedirs(os.path.dirname(os.path.abspath(sink_path)), exist_ok=True)
+        with open(sink_path, "a") as handle:
+            handle.write(table + "\n\n")
+    return table

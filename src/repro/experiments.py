@@ -1,0 +1,299 @@
+"""Turnkey experiment harness.
+
+:class:`Workbench` wires the whole pipeline together the way the paper's
+experiments do: build the road dataset, fine-tune the detector, train an
+attack (ours or the Sava baseline), and evaluate PWC/CWC over the three
+challenges. Heavy artifacts — the trained detector and each attack — are
+cached on disk so regenerating a table only retrains what changed.
+
+Two profiles are provided (DESIGN.md §5):
+
+* ``Workbench.reduced()`` — the laptop-scale profile every test and
+  benchmark uses; the detector is a width-0.25 YOLOv3-tiny at 96².
+* ``Workbench.paper_scale()`` — the paper's full configuration (416²,
+  width 1.0, 1000-image dataset, 800 epochs). Constructible and
+  shape-correct, but not intended to finish on a CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from .attack.artifacts import (
+    cached_path,
+    load_attack,
+    load_baseline,
+    save_attack,
+    save_baseline,
+)
+from .attack.baseline_sava import SavaBaselineResult, train_sava_baseline
+from .attack.config import PAPER_TRICKS, AttackConfig
+from .attack.trainer import AttackResult, train_patch_attack
+from .detection.config import TinyYoloConfig, reduced_config
+from .detection.model import TinyYolo
+from .detection.train import DetectorTrainConfig, train_detector
+from .nn.serialization import load_module, save_module
+from .scene.dataset import DatasetConfig, build_dataset
+from .scene.video import AttackScenario
+from .eval.protocol import (
+    DEFAULT_CHALLENGES,
+    ChallengeResult,
+    evaluate_challenges,
+)
+from .utils.rng import derive_seed
+
+__all__ = ["WorkbenchProfile", "Workbench"]
+
+Artifact = Union[AttackResult, SavaBaselineResult]
+
+
+@dataclass(frozen=True)
+class WorkbenchProfile:
+    """Size/time profile for a full experiment pipeline."""
+
+    name: str
+    image_size: int
+    width_multiplier: float
+    train_images: int
+    test_images: int
+    detector_epochs: int
+    detector_batch: int
+    attack_steps: int
+    attack_warmup: int
+    attack_batch_frames: int
+    frame_pool: int
+    eval_runs: int
+
+    @staticmethod
+    def reduced() -> "WorkbenchProfile":
+        return WorkbenchProfile(
+            name="reduced",
+            image_size=96,
+            width_multiplier=0.25,
+            train_images=400,
+            test_images=64,
+            detector_epochs=40,
+            detector_batch=8,
+            attack_steps=100,
+            attack_warmup=50,
+            attack_batch_frames=6,
+            frame_pool=48,
+            eval_runs=3,
+        )
+
+    @staticmethod
+    def paper_scale() -> "WorkbenchProfile":
+        """The authors' configuration (§IV-A); V100-sized, not CPU-sized."""
+        return WorkbenchProfile(
+            name="paper",
+            image_size=416,
+            width_multiplier=1.0,
+            train_images=1000,
+            test_images=71,
+            detector_epochs=100,
+            detector_batch=16,
+            attack_steps=800,
+            attack_warmup=200,
+            attack_batch_frames=18,
+            frame_pool=200,
+            eval_runs=3,
+        )
+
+    @staticmethod
+    def smoke() -> "WorkbenchProfile":
+        """Minimal profile for integration tests — minutes, not hours."""
+        return WorkbenchProfile(
+            name="smoke",
+            image_size=64,
+            width_multiplier=0.25,
+            train_images=60,
+            test_images=10,
+            detector_epochs=6,
+            detector_batch=8,
+            attack_steps=30,
+            attack_warmup=20,
+            attack_batch_frames=6,
+            frame_pool=24,
+            eval_runs=1,
+        )
+
+
+class Workbench:
+    """End-to-end experiment runner with on-disk artifact caching."""
+
+    def __init__(self, profile: WorkbenchProfile, seed: int = 0,
+                 cache_dir: Optional[str] = None):
+        self.profile = profile
+        self.seed = seed
+        self.cache_dir = cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache")
+        )
+        self._detector: Optional[TinyYolo] = None
+        self._train_samples = None
+        self._test_samples = None
+        self._anchors = None
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def reduced(cls, seed: int = 0, cache_dir: Optional[str] = None) -> "Workbench":
+        return cls(WorkbenchProfile.reduced(), seed=seed, cache_dir=cache_dir)
+
+    @classmethod
+    def smoke(cls, seed: int = 0, cache_dir: Optional[str] = None) -> "Workbench":
+        return cls(WorkbenchProfile.smoke(), seed=seed, cache_dir=cache_dir)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0, cache_dir: Optional[str] = None) -> "Workbench":
+        return cls(WorkbenchProfile.paper_scale(), seed=seed, cache_dir=cache_dir)
+
+    # -- pipeline pieces -----------------------------------------------------
+    def fitted_anchors(self):
+        """Dataset-fitted anchors via k-means over training box sizes.
+
+        Synthetic-scene boxes are much smaller than COCO's, so the darknet
+        default anchors would assign almost everything to the coarse
+        (stride-32) head; refitting is the standard YOLO recipe.
+        """
+        if self._anchors is None:
+            sizes = []
+            for _, truth in self.train_samples():
+                for box in truth.boxes_xywh:
+                    sizes.append((float(box[2]), float(box[3])))
+            from .detection.anchors import kmeans_anchors
+
+            self._anchors = tuple(kmeans_anchors(sizes, k=6, seed=0))
+        return self._anchors
+
+    def detector_config(self) -> TinyYoloConfig:
+        return reduced_config(
+            input_size=self.profile.image_size,
+            width_multiplier=self.profile.width_multiplier,
+            custom_anchors=self.fitted_anchors(),
+        )
+
+    def dataset_config(self) -> DatasetConfig:
+        return DatasetConfig(image_size=self.profile.image_size,
+                             seed=derive_seed(self.seed, "dataset"))
+
+    def train_samples(self):
+        if self._train_samples is None:
+            self._train_samples = build_dataset(
+                self.profile.train_images, self.dataset_config()
+            )
+        return self._train_samples
+
+    def test_samples(self):
+        if self._test_samples is None:
+            config = DatasetConfig(
+                image_size=self.profile.image_size,
+                seed=derive_seed(self.seed, "dataset-test"),
+            )
+            self._test_samples = build_dataset(self.profile.test_images, config)
+        return self._test_samples
+
+    def _detector_cache_path(self) -> str:
+        key = (
+            f"detector_{self.profile.name}_{self.profile.image_size}"
+            f"_w{self.profile.width_multiplier}_n{self.profile.train_images}"
+            f"_e{self.profile.detector_epochs}_anch_aug_seed{self.seed}.npz"
+        )
+        return os.path.join(self.cache_dir, key)
+
+    def detector(self, force_retrain: bool = False) -> TinyYolo:
+        """The fine-tuned victim detector (trained once, then cached)."""
+        if self._detector is not None and not force_retrain:
+            return self._detector
+        model = TinyYolo(self.detector_config(), seed=derive_seed(self.seed, "det"))
+        path = self._detector_cache_path()
+        if not force_retrain and os.path.exists(path):
+            load_module(model, path)
+            model.eval()
+        else:
+            train_detector(
+                model,
+                self.train_samples(),
+                DetectorTrainConfig(
+                    epochs=self.profile.detector_epochs,
+                    batch_size=self.profile.detector_batch,
+                    seed=derive_seed(self.seed, "det-train"),
+                ),
+            )
+            save_module(model, path)
+        self._detector = model
+        return model
+
+    def scenario(self) -> AttackScenario:
+        return AttackScenario(
+            image_size=self.profile.image_size,
+            style_seed=derive_seed(self.seed, "style"),
+            sprite_seed=derive_seed(self.seed, "sprite"),
+        )
+
+    def attack_config(self, **overrides) -> AttackConfig:
+        """The paper's default attack configuration at this profile's scale."""
+        base = dict(
+            steps=self.profile.attack_steps,
+            warmup_steps=self.profile.attack_warmup,
+            batch_frames=self.profile.attack_batch_frames,
+            frame_pool=self.profile.frame_pool,
+            seed=derive_seed(self.seed, "attack-cfg"),
+        )
+        base.update(overrides)
+        return AttackConfig(**base)
+
+    def train_attack(self, config: Optional[AttackConfig] = None,
+                     use_cache: bool = True) -> AttackResult:
+        """Train (or load) the paper's decal attack."""
+        config = config or self.attack_config()
+        path = cached_path(self.cache_dir, config, kind="attack")
+        if use_cache and os.path.exists(path):
+            return load_attack(path)
+        result = train_patch_attack(self.detector(), self.scenario(), config)
+        if use_cache:
+            save_attack(result, path)
+        return result
+
+    def train_baseline(self, config: Optional[AttackConfig] = None,
+                       use_cache: bool = True) -> SavaBaselineResult:
+        """Train (or load) the Sava et al. [34] colored-patch baseline."""
+        from .eot.sampler import ALL_TRICKS
+
+        config = config or self.attack_config(
+            consecutive=False, tricks=frozenset(ALL_TRICKS)
+        )
+        path = cached_path(self.cache_dir, config, kind="sava")
+        if use_cache and os.path.exists(path):
+            return load_baseline(path)
+        result = train_sava_baseline(self.detector(), self.scenario(), config)
+        if use_cache:
+            save_baseline(result, path)
+        return result
+
+    def evaluate(
+        self,
+        artifact: Optional[Artifact],
+        challenges: Sequence[str] = DEFAULT_CHALLENGES,
+        physical: bool = True,
+        target_class: Optional[str] = None,
+        n_runs: Optional[int] = None,
+    ) -> Dict[str, ChallengeResult]:
+        """Run the challenge protocol; ``artifact=None`` gives the
+        'w/o attack' rows of the paper's tables. The target class defaults
+        to the artifact's configured target."""
+        if target_class is None:
+            config = getattr(artifact, "config", None)
+            target_class = config.target_class if config is not None else "word"
+        return evaluate_challenges(
+            self.detector(),
+            self.scenario(),
+            artifact=artifact,
+            challenges=challenges,
+            target_class=target_class,
+            physical=physical,
+            n_runs=n_runs or self.profile.eval_runs,
+            seed=derive_seed(self.seed, "eval"),
+        )

@@ -1,0 +1,15 @@
+"""`repro.gan` — the shape-constrained patch GAN."""
+
+from .discriminator import PatchDiscriminator
+from .generator import PatchGenerator
+from .losses import discriminator_loss, generator_adversarial_loss
+from .trainer import GanTrainConfig, train_gan
+
+__all__ = [
+    "PatchGenerator",
+    "PatchDiscriminator",
+    "discriminator_loss",
+    "generator_adversarial_loss",
+    "GanTrainConfig",
+    "train_gan",
+]

@@ -1,0 +1,44 @@
+"""Patch discriminator D.
+
+Judges whether a monochrome patch looks like a Four-Shapes sample. Three
+stride-2 conv blocks followed by global pooling and a dense logit. The
+discriminator is what keeps G's output on the shape manifold — the paper's
+mechanism for controllable, stealthy decals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["PatchDiscriminator"]
+
+
+class PatchDiscriminator(nn.Module):
+    """Discriminator mapping (N, 1, k, k) patches to real/fake logits."""
+
+    def __init__(self, patch_size: int, base_channels: int = 16, seed: int = 1):
+        super().__init__()
+        self.patch_size = patch_size
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        self.conv1 = nn.Conv2d(1, c, 3, stride=2, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(c, c * 2, 3, stride=2, padding=1, rng=rng)
+        self.conv3 = nn.Conv2d(c * 2, c * 4, 3, stride=2, padding=1, rng=rng)
+        self.act = nn.LeakyReLU(0.2)
+        self.classify = nn.Linear(c * 4, 1, rng=rng)
+
+    def forward(self, patch: nn.Tensor) -> nn.Tensor:
+        """Return real/fake logits of shape (N, 1)."""
+        if patch.shape[-1] != self.patch_size or patch.shape[1] != 1:
+            raise ValueError(
+                f"expected (N, 1, {self.patch_size}, {self.patch_size}), got {patch.shape}"
+            )
+        x = self.act(self.conv1(patch))
+        x = self.act(self.conv2(x))
+        x = self.act(self.conv3(x))
+        # Global average pool then dense logit.
+        x = x.mean(axis=(2, 3))
+        return self.classify(x)

@@ -1,0 +1,31 @@
+"""GAN loss terms (the first two terms of the paper's Eq. 1).
+
+Implemented in the numerically stable logits form. The generator uses the
+non-saturating variant (maximize log D(G(z))) as is standard practice; the
+discriminator sees real Four-Shapes samples and detached fakes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+
+__all__ = ["discriminator_loss", "generator_adversarial_loss"]
+
+
+def discriminator_loss(real_logits: Tensor, fake_logits: Tensor) -> Tensor:
+    """E[log D(v)] + E[log(1 − D(G(z)))], as a minimization objective."""
+    real_target = np.ones(real_logits.shape, dtype=np.float32)
+    fake_target = np.zeros(fake_logits.shape, dtype=np.float32)
+    return (
+        F.bce_with_logits(real_logits, real_target)
+        + F.bce_with_logits(fake_logits, fake_target)
+    )
+
+
+def generator_adversarial_loss(fake_logits: Tensor) -> Tensor:
+    """Non-saturating generator loss: −E[log D(G(z))]."""
+    target = np.ones(fake_logits.shape, dtype=np.float32)
+    return F.bce_with_logits(fake_logits, target)

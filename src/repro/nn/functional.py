@@ -1,0 +1,634 @@
+"""Differentiable neural-network operations used across the reproduction.
+
+Everything here operates on :class:`repro.nn.tensor.Tensor` in NCHW layout
+(batch, channels, height, width) and records backward closures so attack
+gradients can flow from the YOLOv3-tiny loss through EOT warps back into the
+GAN generator.
+
+Convolutions use an im2col formulation: patches are unfolded into a matrix,
+the convolution becomes a single GEMM, and the backward pass is the
+corresponding col2im scatter. This keeps the whole stack pure numpy while
+remaining fast enough for the reduced-scale profiles used by the tests and
+benchmarks (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import (
+    Tensor,
+    _define_backward,
+    _make,
+    _route,
+    clip,
+    ensure_tensor,
+    exp,
+    log,
+)
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "upsample_nearest",
+    "interpolate_bilinear",
+    "grid_sample",
+    "linear",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "bce_with_logits",
+    "binary_cross_entropy",
+    "mse_loss",
+    "l1_loss",
+    "batch_norm",
+    "dropout",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold sliding ``kernel``×``kernel`` windows of an NCHW array.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C * kernel * kernel, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to the input layout (im2col adjoint)."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution / pooling / resampling
+# ----------------------------------------------------------------------
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) in NCHW layout.
+
+    ``weight`` has shape ``(out_channels, in_channels, k, k)``.
+    """
+    x, weight = ensure_tensor(x), ensure_tensor(weight)
+    n, c, h, w = x.data.shape
+    out_c, in_c, kernel, kernel2 = weight.data.shape
+    if in_c != c or kernel != kernel2:
+        raise ValueError(
+            f"conv2d weight {weight.data.shape} incompatible with input {x.data.shape}"
+        )
+    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(out_c, -1)
+    result = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+    result = result.reshape(n, out_c, out_h, out_w)
+    if bias is not None:
+        result = result + bias.data.reshape(1, -1, 1, 1)
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    out = _make(result, parents)
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        grad_mat = grad.reshape(n, out_c, out_h * out_w)
+        if weight.requires_grad:
+            grad_w = np.einsum("nop,nkp->ok", grad_mat, cols, optimize=True)
+            _route(weight, grad_w.reshape(weight.data.shape), staged)
+        if x.requires_grad:
+            grad_cols = np.einsum("ok,nop->nkp", w_mat, grad_mat, optimize=True)
+            _route(
+                x,
+                col2im(grad_cols, x.data.shape, kernel, stride, padding, out_h, out_w),
+                staged,
+            )
+        if bias is not None and bias.requires_grad:
+            _route(bias, grad.sum(axis=(0, 2, 3)), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None, padding: int = 0) -> Tensor:
+    """Max pooling. YOLOv3-tiny uses both stride-2 pools and a final
+    stride-1 kernel-2 pool (which needs asymmetric right/bottom padding)."""
+    x = ensure_tensor(x)
+    stride = stride or kernel
+    data = x.data
+    n, c, h, w = data.shape
+    pad_spec = None
+    if stride == 1 and kernel == 2 and padding == 0:
+        # Darknet-style "same" pooling: pad one pixel on the bottom/right
+        # with -inf so output size equals input size.
+        pad_spec = ((0, 0), (0, 0), (0, 1), (0, 1))
+    elif padding:
+        pad_spec = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    if pad_spec is not None:
+        data = np.pad(data, pad_spec, constant_values=-np.inf)
+    ph, pw = data.shape[2], data.shape[3]
+    out_h = (ph - kernel) // stride + 1
+    out_w = (pw - kernel) // stride + 1
+    strides = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    value = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out = _make(value, (x,))
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        grad_padded = np.zeros((n, c, ph, pw), dtype=np.float32)
+        ky, kx = np.divmod(arg, kernel)
+        oy = np.arange(out_h)[None, None, :, None] * stride
+        ox = np.arange(out_w)[None, None, None, :] * stride
+        ni = np.arange(n)[:, None, None, None]
+        ci = np.arange(c)[None, :, None, None]
+        np.add.at(grad_padded, (ni, ci, oy + ky, ox + kx), grad)
+        if pad_spec is not None:
+            top, bottom = pad_spec[2]
+            left, right = pad_spec[3]
+            grad_padded = grad_padded[
+                :, :, top: ph - bottom or None, left: pw - right or None
+            ]
+        _route(x, grad_padded, staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Average pooling (used by the discriminator's downsampling path)."""
+    x = ensure_tensor(x)
+    stride = stride or kernel
+    cols, out_h, out_w = im2col(x.data, kernel, stride, 0)
+    n, c = x.data.shape[:2]
+    cols = cols.reshape(n, c, kernel * kernel, out_h * out_w)
+    out = _make(cols.mean(axis=2).reshape(n, c, out_h, out_w), (x,))
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32) / (kernel * kernel)
+        grad_cols = np.repeat(
+            grad.reshape(n, c, 1, out_h * out_w), kernel * kernel, axis=2
+        ).reshape(n, c * kernel * kernel, out_h * out_w)
+        _route(x, col2im(grad_cols, x.data.shape, kernel, stride, 0, out_h, out_w), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def upsample_nearest(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling (YOLO route path, GAN generator)."""
+    x = ensure_tensor(x)
+    out = _make(
+        x.data.repeat(scale, axis=2).repeat(scale, axis=3), (x,)
+    )
+    n, c, h, w = x.data.shape
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        grad = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        _route(x, grad, staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def interpolate_bilinear(x: Tensor, size: Tuple[int, int]) -> Tensor:
+    """Differentiable bilinear resize of an NCHW tensor to ``size``.
+
+    This is the EOT *resize* trick: patch gradients must survive the resize
+    so the generator learns scale-robust patterns.
+    """
+    x = ensure_tensor(x)
+    n, c, h, w = x.data.shape
+    out_h, out_w = size
+    if (out_h, out_w) == (h, w):
+        return x
+    # align_corners=False convention (matches torch default).
+    ys = (np.arange(out_h, dtype=np.float32) + 0.5) * (h / out_h) - 0.5
+    xs = (np.arange(out_w, dtype=np.float32) + 0.5) * (w / out_w) - 0.5
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(np.float32)
+    wx = (xs - x0).astype(np.float32)
+
+    def gather(iy, ix):
+        return x.data[:, :, iy[:, None], ix[None, :]]
+
+    top = gather(y0, x0) * (1 - wx)[None, None, None, :] + gather(y0, x1) * wx[None, None, None, :]
+    bottom = gather(y1, x0) * (1 - wx)[None, None, None, :] + gather(y1, x1) * wx[None, None, None, :]
+    value = top * (1 - wy)[None, None, :, None] + bottom * wy[None, None, :, None]
+    out = _make(value.astype(np.float32), (x,))
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        grad_x = np.zeros_like(x.data)
+        w00 = (1 - wy)[:, None] * (1 - wx)[None, :]
+        w01 = (1 - wy)[:, None] * wx[None, :]
+        w10 = wy[:, None] * (1 - wx)[None, :]
+        w11 = wy[:, None] * wx[None, :]
+        iy0 = y0[:, None].repeat(out_w, axis=1)
+        iy1 = y1[:, None].repeat(out_w, axis=1)
+        ix0 = x0[None, :].repeat(out_h, axis=0)
+        ix1 = x1[None, :].repeat(out_h, axis=0)
+        for weight_map, iy, ix in (
+            (w00, iy0, ix0),
+            (w01, iy0, ix1),
+            (w10, iy1, ix0),
+            (w11, iy1, ix1),
+        ):
+            np.add.at(
+                grad_x,
+                (slice(None), slice(None), iy, ix),
+                grad * weight_map[None, None],
+            )
+        _route(x, grad_x, staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def grid_sample(x: Tensor, grid: np.ndarray, padding_value: float = 0.0) -> Tensor:
+    """Sample ``x`` at normalized grid locations with bilinear interpolation.
+
+    ``grid`` has shape ``(N, out_h, out_w, 2)`` with coordinates in
+    ``[-1, 1]`` (x then y, matching the torch convention). Out-of-range
+    samples read ``padding_value``. Gradients flow to ``x`` only; the grids
+    used by the EOT pipeline are sampled transformation parameters, never
+    learned, so grid gradients are unnecessary (documented substitution).
+    """
+    x = ensure_tensor(x)
+    n, c, h, w = x.data.shape
+    grid = np.asarray(grid, dtype=np.float32)
+    if grid.shape[0] != n or grid.shape[-1] != 2:
+        raise ValueError(f"grid shape {grid.shape} incompatible with input {x.data.shape}")
+    out_h, out_w = grid.shape[1], grid.shape[2]
+
+    gx = (grid[..., 0] + 1) * 0.5 * (w - 1)
+    gy = (grid[..., 1] + 1) * 0.5 * (h - 1)
+    x0 = np.floor(gx).astype(np.int64)
+    y0 = np.floor(gy).astype(np.int64)
+    x1, y1 = x0 + 1, y0 + 1
+    wx = (gx - x0).astype(np.float32)
+    wy = (gy - y0).astype(np.float32)
+
+    def corner(iy, ix):
+        valid = ((iy >= 0) & (iy < h) & (ix >= 0) & (ix < w)).astype(np.float32)
+        iy_c = np.clip(iy, 0, h - 1)
+        ix_c = np.clip(ix, 0, w - 1)
+        batch = np.arange(n)[:, None, None]
+        values = x.data[batch, :, iy_c, ix_c]  # (n, out_h, out_w, c)
+        values = values * valid[..., None] + padding_value * (1 - valid[..., None])
+        return values, valid, iy_c, ix_c
+
+    v00, m00, y00, x00 = corner(y0, x0)
+    v01, m01, y01, x01 = corner(y0, x1)
+    v10, m10, y10, x10 = corner(y1, x0)
+    v11, m11, y11, x11 = corner(y1, x1)
+    w00 = ((1 - wy) * (1 - wx))[..., None]
+    w01 = ((1 - wy) * wx)[..., None]
+    w10 = (wy * (1 - wx))[..., None]
+    w11 = (wy * wx)[..., None]
+    value = v00 * w00 + v01 * w01 + v10 * w10 + v11 * w11
+    out = _make(value.transpose(0, 3, 1, 2).astype(np.float32), (x,))
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32).transpose(0, 2, 3, 1)
+        grad_x = np.zeros_like(x.data)
+        batch = np.arange(n)[:, None, None]
+        for weight_map, mask, iy, ix in (
+            (w00, m00, y00, x00),
+            (w01, m01, y01, x01),
+            (w10, m10, y10, x10),
+            (w11, m11, y11, x11),
+        ):
+            contrib = grad * weight_map * mask[..., None]
+            np.add.at(grad_x, (batch, slice(None), iy, ix), contrib)
+        _route(x, grad_x, staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dense / activations
+# ----------------------------------------------------------------------
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` shaped (out, in)."""
+    x, weight = ensure_tensor(x), ensure_tensor(weight)
+    result = x.data @ weight.data.T
+    if bias is not None:
+        result = result + bias.data
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    out = _make(result, parents)
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        _route(x, grad @ weight.data, staged)
+        if weight.requires_grad:
+            _route(weight, grad.reshape(-1, grad.shape[-1]).T @ x.data.reshape(-1, x.data.shape[-1]), staged)
+        if bias is not None and bias.requires_grad:
+            _route(bias, grad.reshape(-1, grad.shape[-1]).sum(axis=0), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    x = ensure_tensor(x)
+    mask = x.data > 0
+    out = _make(x.data * mask, (x,))
+
+    def backward(grad, staged):
+        _route(x, np.asarray(grad) * mask, staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def leaky_relu(x: Tensor, slope: float = 0.1) -> Tensor:
+    """Leaky ReLU with darknet's default slope of 0.1."""
+    x = ensure_tensor(x)
+    mask = x.data > 0
+    out = _make(np.where(mask, x.data, slope * x.data), (x,))
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        _route(x, np.where(mask, grad, slope * grad), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = ensure_tensor(x)
+    value = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60)))
+    out = _make(value.astype(np.float32), (x,))
+
+    def backward(grad, staged):
+        _route(x, np.asarray(grad) * value * (1 - value), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = ensure_tensor(x)
+    value = np.tanh(x.data)
+    out = _make(value, (x,))
+
+    def backward(grad, staged):
+        _route(x, np.asarray(grad) * (1 - value * value), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    value = e / e.sum(axis=axis, keepdims=True)
+    out = _make(value.astype(np.float32), (x,))
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        dot = (grad * value).sum(axis=axis, keepdims=True)
+        _route(x, value * (grad - dot), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_z
+    out = _make(value.astype(np.float32), (x,))
+    soft = np.exp(value)
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        _route(x, grad - soft * grad.sum(axis=axis, keepdims=True), staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+
+def cross_entropy(logits: Tensor, target: np.ndarray, axis: int = -1) -> Tensor:
+    """Mean cross-entropy of integer class targets against logits.
+
+    This is the :math:`\\ell` of the paper's Eq. 2 — the attack drives the
+    detector's class logits toward the attacker's target class ``t``.
+    """
+    logits = ensure_tensor(logits)
+    target = np.asarray(target)
+    log_probs = log_softmax(logits, axis=axis)
+    if axis != -1 and axis != logits.data.ndim - 1:
+        raise ValueError("cross_entropy currently supports the last axis only")
+    flat = log_probs.reshape((-1, logits.data.shape[-1]))
+    index = (np.arange(flat.data.shape[0]), target.reshape(-1))
+    picked = flat[index]
+    return -picked.mean()
+
+
+def bce_with_logits(logits: Tensor, target, weight=None) -> Tensor:
+    """Numerically stable binary cross-entropy on logits (mean-reduced)."""
+    logits = ensure_tensor(logits)
+    target = np.asarray(target, dtype=np.float32)
+    x = logits.data
+    value = np.maximum(x, 0) - x * target + np.log1p(np.exp(-np.abs(x)))
+    if weight is not None:
+        weight = np.asarray(weight, dtype=np.float32)
+        value = value * weight
+    out = _make(np.asarray(value.mean(), dtype=np.float32), (logits,))
+    count = value.size
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        local = (sig - target) / count
+        if weight is not None:
+            local = local * weight
+        _route(logits, grad * local, staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def binary_cross_entropy(probs: Tensor, target, eps: float = 1e-7) -> Tensor:
+    """BCE on probabilities (used by the GAN loss in Eq. 1)."""
+    probs = ensure_tensor(probs)
+    target = np.asarray(target, dtype=np.float32)
+    p = clip(probs, eps, 1.0 - eps)
+    loss = -(target * log(p) + (1.0 - target) * log(1.0 - p))
+    return loss.mean()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    prediction = ensure_tensor(prediction)
+    target = np.asarray(target, dtype=np.float32) if not isinstance(target, Tensor) else target
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    prediction = ensure_tensor(prediction)
+    target = np.asarray(target, dtype=np.float32) if not isinstance(target, Tensor) else target
+    return (prediction - target).abs().mean()
+
+
+# ----------------------------------------------------------------------
+# Normalization / regularization
+# ----------------------------------------------------------------------
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over an NCHW tensor's (N, H, W) axes.
+
+    When ``training`` is true, batch statistics are used and the running
+    buffers are updated in place; at inference the running buffers are used,
+    matching darknet/torch semantics.
+    """
+    x = ensure_tensor(x)
+    axes = (0, 2, 3)
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        n_elems = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+        unbiased = var * n_elems / max(n_elems - 1, 1)
+        running_mean *= 1 - momentum
+        running_mean += momentum * mean
+        running_var *= 1 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+    value = gamma.data.reshape(1, -1, 1, 1) * x_hat + beta.data.reshape(1, -1, 1, 1)
+    out = _make(value.astype(np.float32), (x, gamma, beta))
+
+    def backward(grad, staged):
+        grad = np.asarray(grad, dtype=np.float32)
+        if gamma.requires_grad:
+            _route(gamma, (grad * x_hat).sum(axis=axes), staged)
+        if beta.requires_grad:
+            _route(beta, grad.sum(axis=axes), staged)
+        if x.requires_grad:
+            g = grad * gamma.data.reshape(1, -1, 1, 1)
+            if training:
+                m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+                sum_g = g.sum(axis=axes, keepdims=True)
+                sum_gx = (g * x_hat).sum(axis=axes, keepdims=True)
+                grad_x = (
+                    inv_std.reshape(1, -1, 1, 1)
+                    * (g - sum_g / m - x_hat * sum_gx / m)
+                )
+            else:
+                grad_x = g * inv_std.reshape(1, -1, 1, 1)
+            _route(x, grad_x, staged)
+
+    _define_backward(out, backward)
+    return out
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity at inference."""
+    if not training or rate <= 0.0:
+        return ensure_tensor(x)
+    x = ensure_tensor(x)
+    keep = 1.0 - rate
+    mask = (rng.random(x.data.shape) < keep).astype(np.float32) / keep
+    out = _make(x.data * mask, (x,))
+
+    def backward(grad, staged):
+        _route(x, np.asarray(grad) * mask, staged)
+
+    _define_backward(out, backward)
+    return out

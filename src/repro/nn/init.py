@@ -1,0 +1,40 @@
+"""Weight initialization helpers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+every experiment in the reproduction is reproducible from a single seed
+(see :mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "normal_", "uniform_", "dcgan_normal"]
+
+
+def he_normal(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He/Kaiming-normal init, appropriate for (leaky-)ReLU networks."""
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot-uniform init, appropriate for tanh/sigmoid networks."""
+    bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal_(rng: np.random.Generator, shape: Tuple[int, ...], mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+    return rng.normal(mean, std, size=shape).astype(np.float32)
+
+
+def uniform_(rng: np.random.Generator, shape: Tuple[int, ...], low: float, high: float) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(np.float32)
+
+
+def dcgan_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """N(0, 0.02) init from the DCGAN paper, used for generator/discriminator."""
+    return rng.normal(0.0, 0.02, size=shape).astype(np.float32)

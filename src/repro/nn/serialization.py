@@ -1,0 +1,35 @@
+"""Checkpoint save/load for modules (npz-based).
+
+The paper fine-tunes from ``darknet53.conv.74``; that binary format is not
+available offline, so checkpoints here use a plain ``.npz`` with one entry
+per parameter/buffer name (our substitution, see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .layers import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: "Module", path: str) -> None:
+    """Serialize a module's parameters and buffers to ``path`` (npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    state = module.state_dict()
+    # npz keys cannot contain '/' reliably across loaders; ':' and '.' are fine.
+    np.savez(path, **state)
+
+
+def load_module(module: "Module", path: str) -> "Module":
+    """Load a checkpoint produced by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

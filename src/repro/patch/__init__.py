@@ -1,0 +1,34 @@
+"""`repro.patch` — decal shapes, masking, placement and compositing."""
+
+from .apply import PixelPlacement, apply_patches, paste_patch_perspective, solve_homography
+from .mask import hard_background_mask, soft_background_mask
+from .placement import (
+    DECAL_ELONGATION,
+    PATCH_METERS_PER_K,
+    REFERENCE_K,
+    Placement,
+    patch_world_length,
+    patch_world_size,
+    placement_offsets,
+)
+from .shapes import SHAPE_NAMES, sample_batch, shape_image, shape_mask
+
+__all__ = [
+    "SHAPE_NAMES",
+    "shape_image",
+    "shape_mask",
+    "sample_batch",
+    "soft_background_mask",
+    "hard_background_mask",
+    "PixelPlacement",
+    "apply_patches",
+    "paste_patch_perspective",
+    "solve_homography",
+    "Placement",
+    "placement_offsets",
+    "patch_world_size",
+    "patch_world_length",
+    "PATCH_METERS_PER_K",
+    "REFERENCE_K",
+    "DECAL_ELONGATION",
+]

@@ -1,0 +1,216 @@
+"""Compositing decals into frames.
+
+Two paths, mirroring the paper's workflow:
+
+* **Training (differentiable)** — :func:`apply_patches`: the generator's
+  patch tensor is EOT-transformed upstream, resized to its apparent size in
+  the frame, background-removed with a soft mask, and alpha-composited.
+  Gradients flow from the detector loss back to the generator.
+* **Evaluation / physical (numpy)** — :func:`paste_patch_perspective`: the
+  deployed decal lies flat on the road, so it is warped by the true
+  camera homography of its ground quad before compositing. This is the
+  geometry the EOT 'perspective' trick must anticipate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Tensor, concatenate
+from ..nn import functional as F
+from ..nn.tensor import pad2d
+
+__all__ = ["PixelPlacement", "apply_patches", "solve_homography", "paste_patch_perspective"]
+
+
+@dataclass
+class PixelPlacement:
+    """Axis-aligned paste location in frame pixels (training path).
+
+    ``size_px`` is the decal's apparent width; ``height_px`` its apparent
+    vertical extent. For a decal lying on the road the height is strongly
+    foreshortened (a 1.5 m decal at 7 m spans ~5× more pixels horizontally
+    than vertically), so training composites must use the same anisotropic
+    scaling the evaluation-time perspective paste produces — otherwise the
+    patch is optimized for a shape it never has on the road.
+    """
+
+    center_y: float
+    center_x: float
+    size_px: float
+    height_px: Optional[float] = None
+
+    @property
+    def paste_height(self) -> float:
+        return self.height_px if self.height_px is not None else self.size_px
+
+
+def _to_rgb(patch: Tensor) -> Tensor:
+    """Broadcast a 1-channel patch batch to 3 channels."""
+    if patch.shape[1] == 3:
+        return patch
+    if patch.shape[1] != 1:
+        raise ValueError(f"patch must have 1 or 3 channels, got {patch.shape[1]}")
+    return concatenate([patch, patch, patch], axis=1)
+
+
+def apply_patches(
+    frame: np.ndarray,
+    patches: Sequence[Tensor],
+    alphas: Sequence[Tensor],
+    placements: Sequence[PixelPlacement],
+) -> Tensor:
+    """Differentiably composite N patch tensors into one frame.
+
+    Parameters
+    ----------
+    frame:
+        CHW float numpy background (no gradient — the paper's training
+        images are fixed photographs).
+    patches / alphas:
+        Per-placement patch tensors shaped (1, 1|3, k, k) and alpha tensors
+        shaped (1, 1, k, k); they may differ per placement because each has
+        its own EOT sample (the paper rotates each of the N decals
+        independently, Fig. 2).
+    placements:
+        Pixel-space paste locations; patches falling entirely outside the
+        frame are skipped.
+    """
+    if not (len(patches) == len(alphas) == len(placements)):
+        raise ValueError("patches, alphas and placements must align")
+    _, height, width = frame.shape
+    out = Tensor(frame[None].astype(np.float32))
+    for patch, alpha, placement in zip(patches, alphas, placements):
+        size_w = int(round(placement.size_px))
+        size_h = int(round(placement.paste_height))
+        if size_w < 2 or size_h < 1:
+            continue
+        top = int(round(placement.center_y - size_h / 2.0))
+        left = int(round(placement.center_x - size_w / 2.0))
+        if top + size_h <= 0 or left + size_w <= 0 or top >= height or left >= width:
+            continue
+        rgb = _to_rgb(F.interpolate_bilinear(patch, (size_h, size_w)))
+        a = F.interpolate_bilinear(alpha, (size_h, size_w))
+        # Crop the parts that stick out of the frame.
+        crop_top = max(0, -top)
+        crop_left = max(0, -left)
+        crop_bottom = max(0, top + size_h - height)
+        crop_right = max(0, left + size_w - width)
+        if crop_top or crop_left or crop_bottom or crop_right:
+            rgb = rgb[:, :, crop_top:size_h - crop_bottom, crop_left:size_w - crop_right]
+            a = a[:, :, crop_top:size_h - crop_bottom, crop_left:size_w - crop_right]
+        paste_top = top + crop_top
+        paste_left = left + crop_left
+        h_in = rgb.shape[2]
+        w_in = rgb.shape[3]
+        if h_in < 1 or w_in < 1:
+            continue
+        pad_spec = (paste_top, height - paste_top - h_in,
+                    paste_left, width - paste_left - w_in)
+        rgb_full = pad2d(rgb, pad_spec)
+        alpha_full = pad2d(a, pad_spec)
+        out = out * (1.0 - alpha_full) + rgb_full * alpha_full
+    return out
+
+
+# ----------------------------------------------------------------------
+# Perspective paste (evaluation / physical deployment path)
+# ----------------------------------------------------------------------
+
+def solve_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Homography H (3×3) with ``dst ~ H @ src`` from 4 point pairs (x, y)."""
+    src = np.asarray(src, dtype=np.float64).reshape(4, 2)
+    dst = np.asarray(dst, dtype=np.float64).reshape(4, 2)
+    rows = []
+    for (sx, sy), (dx, dy) in zip(src, dst):
+        rows.append([sx, sy, 1, 0, 0, 0, -dx * sx, -dx * sy, -dx])
+        rows.append([0, 0, 0, sx, sy, 1, -dy * sx, -dy * sy, -dy])
+    matrix = np.asarray(rows)
+    _, _, vt = np.linalg.svd(matrix)
+    h = vt[-1].reshape(3, 3)
+    if abs(h[2, 2]) < 1e-12:
+        raise ValueError("degenerate homography")
+    return h / h[2, 2]
+
+
+def paste_patch_perspective(
+    frame: np.ndarray,
+    patch_rgb: np.ndarray,
+    alpha: np.ndarray,
+    quad_vu: np.ndarray,
+) -> np.ndarray:
+    """Composite a flat road decal into a frame through its ground quad.
+
+    Parameters
+    ----------
+    frame:
+        CHW float image (modified copy is returned).
+    patch_rgb:
+        CHW decal appearance (k×k).
+    alpha:
+        HW decal alpha in [0, 1].
+    quad_vu:
+        4×2 array of (v, u) frame coordinates ordered
+        near-left, near-right, far-right, far-left (see
+        :meth:`repro.scene.camera.Camera.ground_patch_quad`).
+    """
+    frame = frame.copy()
+    _, height, width = frame.shape
+    k = patch_rgb.shape[1]
+    quad = np.asarray(quad_vu, dtype=np.float64)
+    # Patch corners in (x, y): bottom edge = near edge of the quad.
+    src = np.asarray(
+        [[0, k - 1], [k - 1, k - 1], [k - 1, 0], [0, 0]], dtype=np.float64
+    )
+    dst = quad[:, ::-1]  # (v, u) -> (u=x, v=y)
+    h_matrix = solve_homography(src, dst)
+    h_inverse = np.linalg.inv(h_matrix)
+
+    v0 = int(np.floor(quad[:, 0].min()))
+    v1 = int(np.ceil(quad[:, 0].max())) + 1
+    u0 = int(np.floor(quad[:, 1].min()))
+    u1 = int(np.ceil(quad[:, 1].max())) + 1
+    v0, v1 = max(v0, 0), min(v1, height)
+    u0, u1 = max(u0, 0), min(u1, width)
+    if v0 >= v1 or u0 >= u1:
+        return frame
+
+    vs, us = np.mgrid[v0:v1, u0:u1].astype(np.float64)
+    ones = np.ones_like(us)
+    coords = np.stack([us.ravel(), vs.ravel(), ones.ravel()])
+    mapped = h_inverse @ coords
+    px = mapped[0] / mapped[2]
+    py = mapped[1] / mapped[2]
+    inside = (px >= 0) & (px <= k - 1) & (py >= 0) & (py <= k - 1)
+    if not inside.any():
+        return frame
+    px_c = np.clip(px, 0, k - 1)
+    py_c = np.clip(py, 0, k - 1)
+    x_floor = np.floor(px_c).astype(int)
+    y_floor = np.floor(py_c).astype(int)
+    x_ceil = np.minimum(x_floor + 1, k - 1)
+    y_ceil = np.minimum(y_floor + 1, k - 1)
+    wx = (px_c - x_floor).astype(np.float32)
+    wy = (py_c - y_floor).astype(np.float32)
+
+    def sample(array: np.ndarray) -> np.ndarray:
+        if array.ndim == 2:
+            array = array[None]
+        return (
+            array[:, y_floor, x_floor] * (1 - wy) * (1 - wx)
+            + array[:, y_floor, x_ceil] * (1 - wy) * wx
+            + array[:, y_ceil, x_floor] * wy * (1 - wx)
+            + array[:, y_ceil, x_ceil] * wy * wx
+        )
+
+    patch_values = sample(patch_rgb.astype(np.float32))
+    alpha_values = sample(alpha.astype(np.float32))[0] * inside
+    region_shape = (v1 - v0, u1 - u0)
+    alpha_map = alpha_values.reshape(region_shape)
+    patch_map = patch_values.reshape(3, *region_shape)
+    region = frame[:, v0:v1, u0:u1]
+    frame[:, v0:v1, u0:u1] = region * (1 - alpha_map) + patch_map * alpha_map
+    return frame

@@ -1,0 +1,39 @@
+"""Background removal for generated patches.
+
+The paper's pipeline "removes the backgrounds from the APs" before pasting:
+the generator emits a black shape on a white background, and only the shape
+pixels become the physical decal. During attack training this must stay
+differentiable, so the hard threshold is replaced by a steep sigmoid
+("soft mask"); evaluation and physical deployment use the hard version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+
+__all__ = ["soft_background_mask", "hard_background_mask"]
+
+#: Pixels darker than this are considered part of the shape (the decal ink).
+INK_THRESHOLD = 0.5
+
+
+def soft_background_mask(patch: Tensor, sharpness: float = 20.0) -> Tensor:
+    """Differentiable alpha: ≈1 where the patch is dark (ink), ≈0 on background.
+
+    ``alpha = σ(sharpness · (threshold − patch))`` — steep enough to act as
+    a cut-out yet smooth enough for gradients to shape the decal boundary.
+    """
+    return F.sigmoid((INK_THRESHOLD - patch) * sharpness)
+
+
+def hard_background_mask(patch: np.ndarray, threshold: float = INK_THRESHOLD) -> np.ndarray:
+    """Binary alpha used when deploying/evaluating the physical decal."""
+    patch = np.asarray(patch)
+    if patch.ndim == 3:
+        luminance = patch.mean(axis=0)
+    else:
+        luminance = patch
+    return (luminance < threshold).astype(np.float32)

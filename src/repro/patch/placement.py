@@ -1,0 +1,96 @@
+"""Patch placement around the target object.
+
+The paper uses several small decals "close to target objects" (§III-A),
+keeping the *total* decal area constant across different patch counts N in
+the Table III ablation. This module computes:
+
+* world-space placements — (dz, dx) offsets in metres from the target
+  object, used by the evaluation videos where decals lie on the road and
+  project with true perspective; and
+* the pixel-size mapping from the paper's patch parameter ``k`` to a decal
+  side length in metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "PATCH_METERS_PER_K",
+    "REFERENCE_K",
+    "DECAL_ELONGATION",
+    "patch_world_size",
+    "patch_world_length",
+    "placement_offsets",
+]
+
+#: Physical decals are stretched 3× along the driving direction, as real
+#: road markings are, so their camera-apparent shape stays near-square
+#: despite ground-plane foreshortening (documented substitution — the
+#: paper's square decals at 416² have enough pixels without this).
+DECAL_ELONGATION = 3.0
+
+#: The paper's best patch is k=60 pixels; we map that to a 1.5 m road decal
+#: (the scale at which decals meaningfully enter the detector's receptive
+#: field at our reduced frame resolution — calibrated empirically).
+REFERENCE_K = 60
+PATCH_METERS_PER_K = 1.5 / REFERENCE_K
+
+
+def patch_world_size(k: int, n_patches: int = 4, reference_n: int = 4,
+                     constant_total_area: bool = False) -> float:
+    """Side length (metres) of one square decal for patch parameter ``k``.
+
+    With ``constant_total_area`` (the Table III protocol), the per-decal
+    size shrinks as N grows so that N × side² stays equal to the reference
+    configuration's total area.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    side = k * PATCH_METERS_PER_K
+    if constant_total_area and n_patches != reference_n:
+        side *= math.sqrt(reference_n / n_patches)
+    return side
+
+
+def patch_world_length(k: int, n_patches: int = 4, reference_n: int = 4,
+                       constant_total_area: bool = False) -> float:
+    """Along-road extent of one decal (elongated, see DECAL_ELONGATION)."""
+    return DECAL_ELONGATION * patch_world_size(
+        k, n_patches=n_patches, reference_n=reference_n,
+        constant_total_area=constant_total_area,
+    )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One decal placement: world offset from the target object center."""
+
+    dz: float  # metres along the road (positive = farther from camera)
+    dx: float  # metres lateral (positive = right)
+
+
+def placement_offsets(n_patches: int, spread: float = 0.75,
+                      row_step: float = 2.6) -> List[Placement]:
+    """Deterministic decal layout flanking the target object.
+
+    Decals alternate left/right of the object and advance along the road,
+    mirroring the photographs in the paper's Fig. 6: 2 decals sit beside
+    the object, 4 form a flanking square, 6/8 extend the columns.
+    ``spread`` is the lateral offset in metres; ``row_step`` the along-road
+    spacing between decal rows (large enough that elongated decals do not
+    overlap each other).
+    """
+    if n_patches < 1:
+        raise ValueError("need at least one patch")
+    offsets: List[Placement] = []
+    rows = (n_patches + 1) // 2
+    for i in range(n_patches):
+        row = i // 2
+        side = -1.0 if i % 2 == 0 else 1.0
+        # Center the rows on the object along the road.
+        dz = (row - (rows - 1) / 2.0) * row_step
+        offsets.append(Placement(dz=dz, dx=side * spread))
+    return offsets

@@ -1,0 +1,70 @@
+"""Procedural Four Shapes dataset.
+
+The paper draws its patch shape prior from the public *Four Shapes* dataset
+(star, circle, square, triangle — black shape on white background). Offline
+we synthesize the same distribution procedurally (DESIGN.md §2): each sample
+is a black shape with jittered size, rotation and center on a white canvas.
+These images train the GAN discriminator, which is how the generator's
+output is constrained to look like a plausible monochrome road decal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.drawing import (
+    circle_mask,
+    polygon_mask,
+    regular_polygon_points,
+    star_points,
+)
+
+__all__ = ["SHAPE_NAMES", "shape_image", "sample_batch", "shape_mask"]
+
+SHAPE_NAMES: Tuple[str, ...] = ("star", "circle", "square", "triangle")
+
+
+def shape_mask(shape: str, size: int, rng: np.random.Generator = None,
+               jitter: bool = True) -> np.ndarray:
+    """Boolean mask (HW) of one shape instance on a ``size``×``size`` canvas."""
+    if shape not in SHAPE_NAMES:
+        raise KeyError(f"unknown shape {shape!r}; choices: {SHAPE_NAMES}")
+    rng = rng or np.random.default_rng(0)
+    if jitter:
+        cy = size / 2 + rng.uniform(-0.05, 0.05) * size
+        cx = size / 2 + rng.uniform(-0.05, 0.05) * size
+        radius = size * rng.uniform(0.32, 0.42)
+        rotation = rng.uniform(0, 2 * math.pi)
+    else:
+        cy = cx = size / 2
+        radius = size * 0.4
+        rotation = 0.0
+
+    if shape == "circle":
+        return circle_mask((size, size), cy, cx, radius)
+    if shape == "square":
+        points = regular_polygon_points(cy, cx, radius, 4, rotation)
+    elif shape == "triangle":
+        points = regular_polygon_points(cy, cx, radius, 3, rotation)
+    else:  # star
+        inner = radius * (rng.uniform(0.38, 0.5) if jitter else 0.45)
+        points = star_points(cy, cx, radius, inner, spikes=5, rotation=rotation)
+    return polygon_mask((size, size), points)
+
+
+def shape_image(shape: str, size: int, rng: np.random.Generator = None,
+                jitter: bool = True) -> np.ndarray:
+    """One Four-Shapes sample: 1×size×size float, black shape on white."""
+    mask = shape_mask(shape, size, rng, jitter)
+    image = np.ones((1, size, size), dtype=np.float32)
+    image[0, mask] = 0.0
+    return image
+
+
+def sample_batch(shape: str, size: int, count: int,
+                 rng: np.random.Generator) -> np.ndarray:
+    """A batch (N, 1, size, size) of jittered instances of one shape class."""
+    return np.stack([shape_image(shape, size, rng) for _ in range(count)])

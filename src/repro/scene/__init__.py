@@ -1,0 +1,72 @@
+"""`repro.scene` — the synthetic world substrate.
+
+Replaces the paper's physical testbed: procedural road scenes, a pinhole
+camera, approach trajectories for the three challenges, the digital→
+physical degradation model, and the synthetic analogue of the paper's
+1000/71 road dataset (DESIGN.md §2).
+"""
+
+from .camera import Camera
+from .dataset import DatasetConfig, build_dataset, paper_split_sizes
+from .physical import CaptureModel, PrintModel, camera_degrade, print_patch
+from .road import (
+    OBJECT_SIZES,
+    RoadScene,
+    SceneObject,
+    SceneStyle,
+    render_scene,
+    rotate_image,
+)
+from .sprites import GROUND_CLASSES, SPRITE_RENDERERS, render_sprite
+from .trajectory import (
+    CHALLENGES,
+    SPEED_KMH,
+    FramePose,
+    angle_trajectory,
+    challenge_trajectory,
+    rotation_trajectory,
+    speed_trajectory,
+)
+from .video import (
+    AttackScenario,
+    DeployedDecals,
+    RenderedFrame,
+    TrainingFrame,
+    render_frame,
+    render_run,
+    sample_training_frames,
+)
+
+__all__ = [
+    "Camera",
+    "RoadScene",
+    "SceneObject",
+    "SceneStyle",
+    "render_scene",
+    "rotate_image",
+    "OBJECT_SIZES",
+    "render_sprite",
+    "SPRITE_RENDERERS",
+    "GROUND_CLASSES",
+    "DatasetConfig",
+    "build_dataset",
+    "paper_split_sizes",
+    "PrintModel",
+    "CaptureModel",
+    "print_patch",
+    "camera_degrade",
+    "FramePose",
+    "SPEED_KMH",
+    "CHALLENGES",
+    "rotation_trajectory",
+    "speed_trajectory",
+    "angle_trajectory",
+    "challenge_trajectory",
+    "AttackScenario",
+    "DeployedDecals",
+    "RenderedFrame",
+    "TrainingFrame",
+    "render_frame",
+    "render_run",
+    "sample_training_frames",
+]

@@ -1,0 +1,124 @@
+"""Pinhole camera model over a flat road plane.
+
+The simulator replaces the paper's physical camera rig (DESIGN.md §2). A
+camera at height ``height`` metres looks down the road (+Z axis). Ground
+points and object extents project through the standard pinhole equations,
+which gives the reproduction the same geometry the paper's challenges vary:
+apparent object size grows as 1/Z while the car approaches, and lateral
+world offsets move the object across the frame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Camera"]
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A forward-facing pinhole camera above a flat road.
+
+    Attributes
+    ----------
+    image_size:
+        Square output resolution in pixels.
+    height:
+        Camera height above the road plane in metres (typical dashcam ≈1.4).
+    focal_fraction:
+        Focal length as a fraction of the image width.
+    horizon_fraction:
+        Vertical position of the horizon line as a fraction of image height.
+    roll_degrees:
+        Camera roll (rotation about the optical axis) — the paper's
+        "rotation" challenge shakes this.
+    """
+
+    image_size: int = 96
+    height: float = 1.4
+    focal_fraction: float = 0.9
+    horizon_fraction: float = 0.38
+    roll_degrees: float = 0.0
+
+    @property
+    def focal(self) -> float:
+        return self.focal_fraction * self.image_size
+
+    @property
+    def horizon_v(self) -> float:
+        return self.horizon_fraction * self.image_size
+
+    @property
+    def center_u(self) -> float:
+        return self.image_size / 2.0
+
+    # ------------------------------------------------------------------
+    def project_ground(self, z: float, x: float) -> Tuple[float, float]:
+        """Project a road-plane point at forward ``z``, lateral ``x`` (metres).
+
+        Returns (v, u) pixel coordinates. Points behind the camera or at
+        z<=0 raise ``ValueError``.
+        """
+        if z <= 0:
+            raise ValueError(f"ground point must be in front of the camera, z={z}")
+        v = self.horizon_v + self.focal * self.height / z
+        u = self.center_u + self.focal * x / z
+        return self._apply_roll(v, u)
+
+    def vertical_extent(self, z: float, height_m: float) -> float:
+        """Apparent pixel height of a vertical object of ``height_m`` at ``z``."""
+        if z <= 0:
+            raise ValueError("object must be in front of the camera")
+        return self.focal * height_m / z
+
+    def horizontal_extent(self, z: float, width_m: float) -> float:
+        """Apparent pixel width of an object of ``width_m`` at ``z``."""
+        if z <= 0:
+            raise ValueError("object must be in front of the camera")
+        return self.focal * width_m / z
+
+    def ground_patch_quad(self, z: float, x: float, size_m: float,
+                          length_m: Optional[float] = None) -> np.ndarray:
+        """Pixel quad (4×2, (v,u) rows) of a decal lying on the road.
+
+        ``size_m`` is the lateral width; ``length_m`` the extent along the
+        road (defaults to square). Road markings are usually elongated
+        along the driving direction to counter foreshortening — the decals
+        here follow that convention. Corners ordered: near-left,
+        near-right, far-right, far-left. The perspective foreshortening of
+        this quad is what the paper's EOT 'perspective' trick must make the
+        patch robust to.
+        """
+        half_w = size_m / 2.0
+        half_l = (length_m if length_m is not None else size_m) / 2.0
+        corners = [
+            (z - half_l, x - half_w),
+            (z - half_l, x + half_w),
+            (z + half_l, x + half_w),
+            (z + half_l, x - half_w),
+        ]
+        return np.asarray([self.project_ground(cz, cx) for cz, cx in corners],
+                          dtype=np.float32)
+
+    def _apply_roll(self, v: float, u: float) -> Tuple[float, float]:
+        if abs(self.roll_degrees) < 1e-9:
+            return v, u
+        angle = math.radians(self.roll_degrees)
+        cv, cu = self.image_size / 2.0, self.image_size / 2.0
+        dv, du = v - cv, u - cu
+        cos_a, sin_a = math.cos(angle), math.sin(angle)
+        return (cv + cos_a * dv - sin_a * du, cu + sin_a * dv + cos_a * du)
+
+    def with_roll(self, roll_degrees: float) -> "Camera":
+        """Copy of this camera with a different roll angle."""
+        return Camera(
+            image_size=self.image_size,
+            height=self.height,
+            focal_fraction=self.focal_fraction,
+            horizon_fraction=self.horizon_fraction,
+            roll_degrees=roll_degrees,
+        )

@@ -1,0 +1,143 @@
+"""Digital→physical degradation model.
+
+The paper's central empirical claim is that *colored* adversarial patches
+lose most of their effect when printed and photographed ("slight
+discrepancies between the colors of the printed APs and their digital
+counterparts", §IV-B), while monochrome decals survive. This module is the
+substitution for their printer + camera loop (DESIGN.md §2):
+
+* :func:`print_patch` — printer gamut compression, channel crosstalk and
+  per-channel gain error. Nearly an identity for near-black/near-white
+  pixels, strongly distorting for saturated colors.
+* :func:`camera_degrade` — what the car's camera adds at capture time:
+  low-frequency illumination/shadow fields, speed-proportional motion blur,
+  defocus and sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["PrintModel", "CaptureModel", "print_patch", "camera_degrade"]
+
+
+@dataclass(frozen=True)
+class PrintModel:
+    """Parameters of the printer gamut model.
+
+    ``gamut_low``/``gamut_high`` compress the dynamic range (ink cannot
+    reach pure black, paper is not pure white); ``crosstalk`` mixes channels
+    toward gray (CMYK conversion loses saturation); ``gain_jitter`` is the
+    per-channel calibration error that differs print to print.
+    """
+
+    gamut_low: float = 0.06
+    gamut_high: float = 0.93
+    crosstalk: float = 0.35
+    gain_jitter: float = 0.08
+    response_gamma: float = 1.15
+
+
+def print_patch(
+    patch_rgb: np.ndarray,
+    rng: np.random.Generator,
+    model: Optional[PrintModel] = None,
+) -> np.ndarray:
+    """Simulate printing a CHW decal image.
+
+    Saturated colors are desaturated and shifted; monochrome content is
+    barely affected (black → dark gray, white → off-white), which is exactly
+    why the paper restricts its decals to one color.
+    """
+    model = model or PrintModel()
+    patch = np.clip(np.asarray(patch_rgb, dtype=np.float32), 0.0, 1.0)
+    if patch.ndim == 2:
+        patch = patch[None]
+    if patch.shape[0] == 1:
+        patch = np.repeat(patch, 3, axis=0)
+
+    # Channel crosstalk: mix each channel toward the pixel luminance.
+    luminance = patch.mean(axis=0, keepdims=True)
+    saturation = np.abs(patch - luminance).max(axis=0, keepdims=True)
+    mix = model.crosstalk * np.clip(saturation * 3.0, 0.0, 1.0)
+    printed = patch * (1 - mix) + luminance * mix
+
+    # Per-channel gain calibration error.
+    gains = 1.0 + rng.uniform(-model.gain_jitter, model.gain_jitter, size=(3, 1, 1))
+    printed = printed * gains.astype(np.float32)
+
+    # Non-linear ink response and gamut compression.
+    printed = np.clip(printed, 0.0, 1.0) ** model.response_gamma
+    printed = model.gamut_low + printed * (model.gamut_high - model.gamut_low)
+    return printed.astype(np.float32)
+
+
+@dataclass(frozen=True)
+class CaptureModel:
+    """Parameters of the capture-time degradation."""
+
+    illumination_amplitude: float = 0.04
+    shadow_probability: float = 0.3
+    shadow_strength: float = 0.1
+    defocus_sigma: float = 0.15
+    noise_sigma: float = 0.005
+    blur_per_speed: float = 0.05  # motion-blur pixels per km/h
+
+
+def _illumination_field(shape_hw, rng: np.random.Generator,
+                        amplitude: float) -> np.ndarray:
+    """Smooth multiplicative lighting field in [1-a, 1+a]."""
+    h, w = shape_hw
+    coarse = rng.normal(0.0, 1.0, size=(max(h // 16, 2), max(w // 16, 2)))
+    field = ndimage.zoom(coarse, (h / coarse.shape[0], w / coarse.shape[1]), order=1)
+    field = field[:h, :w]
+    field = field / (np.abs(field).max() + 1e-9)
+    return (1.0 + amplitude * field).astype(np.float32)
+
+
+def _shadow_band(shape_hw, rng: np.random.Generator, strength: float) -> np.ndarray:
+    """A soft diagonal shadow band (e.g. cast by a structure)."""
+    h, w = shape_hw
+    angle = rng.uniform(0, np.pi)
+    offset = rng.uniform(0.2, 0.8)
+    ys, xs = np.mgrid[0:h, 0:w].astype(np.float32)
+    axis = (np.cos(angle) * xs / w + np.sin(angle) * ys / h)
+    band = np.exp(-((axis - offset) ** 2) / (2 * 0.08 ** 2))
+    return (1.0 - strength * band).astype(np.float32)
+
+
+def camera_degrade(
+    frame: np.ndarray,
+    rng: np.random.Generator,
+    speed_kmh: float = 0.0,
+    model: Optional[CaptureModel] = None,
+) -> np.ndarray:
+    """Degrade a rendered CHW frame the way a real capture would.
+
+    Motion blur grows with ``speed_kmh``, which is what makes the paper's
+    "fast" setting the hardest for every attack (Tables I-VI all show the
+    same monotone drop).
+    """
+    model = model or CaptureModel()
+    frame = np.asarray(frame, dtype=np.float32).copy()
+    _, h, w = frame.shape
+
+    field = _illumination_field((h, w), rng, model.illumination_amplitude)
+    frame *= field[None]
+    if rng.random() < model.shadow_probability:
+        frame *= _shadow_band((h, w), rng, model.shadow_strength)[None]
+
+    blur_px = model.blur_per_speed * max(speed_kmh, 0.0)
+    if blur_px >= 0.5:
+        # Vertical streak: the scene flows downward/outward while driving.
+        kernel_len = max(int(round(blur_px)), 1)
+        frame = ndimage.uniform_filter1d(frame, size=kernel_len + 1, axis=1)
+    if model.defocus_sigma > 0:
+        frame = ndimage.gaussian_filter(frame, sigma=(0, model.defocus_sigma, model.defocus_sigma))
+
+    frame += rng.normal(0.0, model.noise_sigma, size=frame.shape).astype(np.float32)
+    return np.clip(frame, 0.0, 1.0)

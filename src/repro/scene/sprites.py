@@ -1,0 +1,197 @@
+"""Procedural sprites for the five road-dataset classes.
+
+The paper's dataset labels are person, word, mark, car, bicycle (§IV). Each
+sprite function rasterizes one instance at an arbitrary pixel size into an
+RGBA-style pair (RGB image + alpha mask) so the road renderer can scale
+objects with camera distance and composite them over the asphalt.
+
+Sprites are parameterized by an RNG so the detector never sees two
+identical instances — color jitter, proportions and glyph layouts vary —
+which is what makes the synthetic dataset trainable rather than memorizable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..utils.drawing import (
+    draw_line,
+    fill_circle,
+    fill_polygon,
+    fill_rect,
+)
+
+__all__ = ["render_sprite", "SPRITE_RENDERERS", "GROUND_CLASSES"]
+
+Sprite = Tuple[np.ndarray, np.ndarray]  # (rgb CHW, alpha HW)
+
+#: Classes painted flat on the road (foreshortened) vs standing upright.
+GROUND_CLASSES = frozenset({"word", "mark"})
+
+
+def _canvas(height: int, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    return (
+        np.zeros((3, height, width), dtype=np.float32),
+        np.zeros((height, width), dtype=np.float32),
+    )
+
+
+def _stamp_alpha(alpha: np.ndarray, rgb: np.ndarray) -> None:
+    """Mark every non-black pixel of the rgb canvas as opaque."""
+    alpha[...] = np.maximum(alpha, (rgb.max(axis=0) > 0.02).astype(np.float32))
+
+
+def _jitter(rng: np.random.Generator, color: Tuple[float, float, float],
+            amount: float = 0.08) -> Tuple[float, float, float]:
+    return tuple(float(np.clip(c + rng.uniform(-amount, amount), 0.02, 1.0)) for c in color)
+
+
+def render_person(height: int, width: int, rng: np.random.Generator) -> Sprite:
+    """A pedestrian: round head, bright torso, dark legs."""
+    rgb, alpha = _canvas(height, width)
+    torso_color = _jitter(rng, (0.85, 0.2, 0.18))
+    skin = _jitter(rng, (0.9, 0.75, 0.6), 0.05)
+    legs = _jitter(rng, (0.15, 0.15, 0.2), 0.05)
+    cx = width / 2.0
+    head_r = height * 0.11
+    fill_circle(rgb, height * 0.12, cx, head_r, skin)
+    fill_rect(rgb, int(height * 0.22), int(cx - width * 0.22),
+              int(height * 0.58), int(cx + width * 0.22), torso_color)
+    leg_w = max(1, int(width * 0.12))
+    fill_rect(rgb, int(height * 0.58), int(cx - width * 0.2),
+              int(height * 0.98), int(cx - width * 0.2) + leg_w, legs)
+    fill_rect(rgb, int(height * 0.58), int(cx + width * 0.2) - leg_w,
+              int(height * 0.98), int(cx + width * 0.2), legs)
+    # Arms.
+    fill_rect(rgb, int(height * 0.25), int(cx - width * 0.34),
+              int(height * 0.5), int(cx - width * 0.22), torso_color)
+    fill_rect(rgb, int(height * 0.25), int(cx + width * 0.22),
+              int(height * 0.5), int(cx + width * 0.34), torso_color)
+    _stamp_alpha(alpha, rgb)
+    return rgb, alpha
+
+
+def render_car(height: int, width: int, rng: np.random.Generator) -> Sprite:
+    """A rear-view car: colored body, dark window band, two wheels."""
+    rgb, alpha = _canvas(height, width)
+    body = _jitter(rng, (0.2, 0.35, 0.85), 0.12)
+    window = _jitter(rng, (0.1, 0.12, 0.16), 0.03)
+    wheel = (0.05, 0.05, 0.05)
+    fill_rect(rgb, int(height * 0.3), int(width * 0.05),
+              int(height * 0.85), int(width * 0.95), body)
+    # Cabin.
+    fill_polygon(
+        rgb,
+        [
+            (height * 0.3, width * 0.15),
+            (height * 0.05, width * 0.3),
+            (height * 0.05, width * 0.7),
+            (height * 0.3, width * 0.85),
+        ],
+        body,
+    )
+    fill_rect(rgb, int(height * 0.1), int(width * 0.3),
+              int(height * 0.28), int(width * 0.7), window)
+    wheel_r = height * 0.14
+    fill_circle(rgb, height * 0.85, width * 0.25, wheel_r, wheel)
+    fill_circle(rgb, height * 0.85, width * 0.75, wheel_r, wheel)
+    # Tail lights.
+    light = (0.95, 0.15, 0.1)
+    fill_rect(rgb, int(height * 0.38), int(width * 0.08),
+              int(height * 0.48), int(width * 0.2), light)
+    fill_rect(rgb, int(height * 0.38), int(width * 0.8),
+              int(height * 0.48), int(width * 0.92), light)
+    _stamp_alpha(alpha, rgb)
+    return rgb, alpha
+
+
+def render_bicycle(height: int, width: int, rng: np.random.Generator) -> Sprite:
+    """A side-view bicycle: two wheels, triangular frame, rider-less."""
+    rgb, alpha = _canvas(height, width)
+    frame = _jitter(rng, (0.2, 0.8, 0.3), 0.1)
+    tire = (0.08, 0.08, 0.08)
+    wheel_r = min(height, width) * 0.28
+    left = (height * 0.68, width * 0.25)
+    right = (height * 0.68, width * 0.75)
+    thickness = max(1.5, height * 0.07)
+    for cy, cx in (left, right):
+        fill_circle(rgb, cy, cx, wheel_r, tire)
+        fill_circle(rgb, cy, cx, wheel_r * 0.6, (0.0, 0.0, 0.0))
+        alpha_hole = ((np.mgrid[0:height, 0:width][0] + 0.5 - cy) ** 2
+                      + (np.mgrid[0:height, 0:width][1] + 0.5 - cx) ** 2) <= (wheel_r * 0.6) ** 2
+        rgb[:, alpha_hole] = 0.0
+    seat = (height * 0.28, width * 0.42)
+    bar = (height * 0.25, width * 0.72)
+    crank = (height * 0.62, width * 0.5)
+    draw_line(rgb, left[0], left[1], seat[0], seat[1], frame, thickness)
+    draw_line(rgb, seat[0], seat[1], crank[0], crank[1], frame, thickness)
+    draw_line(rgb, crank[0], crank[1], right[0], right[1], frame, thickness)
+    draw_line(rgb, seat[0], seat[1], bar[0], bar[1], frame, thickness)
+    draw_line(rgb, bar[0], bar[1], right[0], right[1], frame, thickness)
+    draw_line(rgb, bar[0] - height * 0.08, bar[1], bar[0], bar[1], frame, thickness)
+    _stamp_alpha(alpha, rgb)
+    return rgb, alpha
+
+
+def render_word(height: int, width: int, rng: np.random.Generator) -> Sprite:
+    """Road-painted text: 3-5 blocky glyphs in a row (e.g. 'SLOW')."""
+    rgb, alpha = _canvas(height, width)
+    paint = _jitter(rng, (0.92, 0.92, 0.88), 0.05)
+    glyphs = int(rng.integers(3, 6))
+    gap = width * 0.04
+    glyph_w = (width - gap * (glyphs + 1)) / glyphs
+    for g in range(glyphs):
+        x0 = gap + g * (glyph_w + gap)
+        segments = rng.integers(2, 4)
+        # Vertical stroke.
+        fill_rect(rgb, int(height * 0.08), int(x0),
+                  int(height * 0.92), int(x0 + glyph_w * 0.3), paint)
+        # Horizontal strokes at random heights.
+        for s in range(segments):
+            y = height * (0.12 + 0.7 * rng.random())
+            fill_rect(rgb, int(y), int(x0),
+                      int(y + height * 0.14), int(x0 + glyph_w), paint)
+    _stamp_alpha(alpha, rgb)
+    return rgb, alpha
+
+
+def render_mark(height: int, width: int, rng: np.random.Generator) -> Sprite:
+    """A white lane arrow painted on the road — the paper's attack target."""
+    rgb, alpha = _canvas(height, width)
+    paint = _jitter(rng, (0.95, 0.95, 0.9), 0.04)
+    cx = width / 2.0
+    shaft_w = width * rng.uniform(0.16, 0.22)
+    head_w = width * rng.uniform(0.4, 0.5)
+    head_h = height * rng.uniform(0.3, 0.4)
+    fill_rect(rgb, int(head_h), int(cx - shaft_w / 2),
+              int(height * 0.98), int(cx + shaft_w / 2), paint)
+    fill_polygon(
+        rgb,
+        [(head_h, cx - head_w / 2), (0.02 * height, cx), (head_h, cx + head_w / 2)],
+        paint,
+    )
+    _stamp_alpha(alpha, rgb)
+    return rgb, alpha
+
+
+SPRITE_RENDERERS: Dict[str, Callable[[int, int, np.random.Generator], Sprite]] = {
+    "person": render_person,
+    "word": render_word,
+    "mark": render_mark,
+    "car": render_car,
+    "bicycle": render_bicycle,
+}
+
+
+def render_sprite(class_name: str, height: int, width: int,
+                  rng: np.random.Generator) -> Sprite:
+    """Render one sprite instance of ``class_name`` at the given pixel size."""
+    if class_name not in SPRITE_RENDERERS:
+        raise KeyError(f"unknown sprite class {class_name!r}; "
+                       f"choices: {sorted(SPRITE_RENDERERS)}")
+    height = max(int(height), 3)
+    width = max(int(width), 3)
+    return SPRITE_RENDERERS[class_name](height, width, rng)

@@ -1,0 +1,120 @@
+"""Camera trajectories for the paper's three evaluation challenges (§IV).
+
+* **Rotation** — the camera stands still and is gently shaken: ``fix``
+  (no shake) vs ``slight rotation`` (sinusoidal roll).
+* **Speed** — the camera approaches the target at slow (15 km/h), normal
+  (25 km/h) or fast (35 km/h); faster runs have fewer frames over the same
+  approach distance, larger frame-to-frame scale jumps and more motion blur.
+* **Angles** — the target sits at −15°, 0° or +15° of the camera's forward
+  axis while the camera approaches (Fig. 3).
+
+A trajectory is a list of :class:`FramePose` — distance to the target,
+lateral offset, camera roll, and the speed used for blur modeling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "FramePose",
+    "SPEED_KMH",
+    "rotation_trajectory",
+    "speed_trajectory",
+    "angle_trajectory",
+    "challenge_trajectory",
+    "CHALLENGES",
+]
+
+#: The paper's speed settings (§IV).
+SPEED_KMH: Dict[str, float] = {"slow": 15.0, "normal": 25.0, "fast": 35.0}
+
+#: Evaluation video parameters shared by all challenges.
+FPS = 10.0
+APPROACH_START_M = 11.0
+APPROACH_END_M = 4.0
+STATIC_DISTANCE_M = 5.5
+STATIC_FRAMES = 30
+ANGLE_SPEED = "slow"
+
+
+@dataclass(frozen=True)
+class FramePose:
+    """Camera/target relation for one video frame."""
+
+    distance: float       # forward distance camera→target (m)
+    lateral: float        # target lateral offset (m, + = right)
+    roll_degrees: float   # camera roll
+    speed_kmh: float      # instantaneous speed (drives motion blur)
+
+
+def rotation_trajectory(setting: str) -> List[FramePose]:
+    """'fix' or 'slight' — stationary camera, optional hand-shake roll."""
+    if setting not in ("fix", "slight"):
+        raise KeyError(f"rotation setting must be 'fix' or 'slight', got {setting!r}")
+    amplitude = 0.0 if setting == "fix" else 5.0
+    poses = []
+    for t in range(STATIC_FRAMES):
+        roll = amplitude * math.sin(2 * math.pi * t / 12.0)
+        poses.append(FramePose(STATIC_DISTANCE_M, 0.0, roll, 0.0))
+    return poses
+
+
+def speed_trajectory(setting: str) -> List[FramePose]:
+    """'slow' / 'normal' / 'fast' — approach over the same distance."""
+    if setting not in SPEED_KMH:
+        raise KeyError(f"speed setting must be one of {sorted(SPEED_KMH)}, got {setting!r}")
+    speed = SPEED_KMH[setting]
+    step = speed / 3.6 / FPS  # metres per frame
+    poses = []
+    distance = APPROACH_START_M
+    while distance > APPROACH_END_M:
+        poses.append(FramePose(distance, 0.0, 0.0, speed))
+        distance -= step
+    if not poses:
+        raise RuntimeError("empty speed trajectory — check parameters")
+    return poses
+
+
+def angle_trajectory(setting: str) -> List[FramePose]:
+    """'-15', '0' or '+15' degrees — lateral target offset during approach."""
+    angles = {"-15": -15.0, "0": 0.0, "+15": 15.0}
+    if setting not in angles:
+        raise KeyError(f"angle setting must be one of {sorted(angles)}, got {setting!r}")
+    angle = math.radians(angles[setting])
+    speed = SPEED_KMH[ANGLE_SPEED]
+    step = speed / 3.6 / FPS
+    poses = []
+    distance = APPROACH_START_M
+    while distance > APPROACH_END_M:
+        lateral = math.tan(angle) * distance * 0.35  # bounded lateral drift
+        poses.append(FramePose(distance, lateral, 0.0, speed))
+        distance -= step
+    return poses
+
+
+#: challenge name → (family, builder)
+CHALLENGES: Dict[str, Tuple[str, str]] = {
+    "rotation/fix": ("rotation", "fix"),
+    "rotation/slight": ("rotation", "slight"),
+    "speed/slow": ("speed", "slow"),
+    "speed/normal": ("speed", "normal"),
+    "speed/fast": ("speed", "fast"),
+    "angle/-15": ("angle", "-15"),
+    "angle/0": ("angle", "0"),
+    "angle/+15": ("angle", "+15"),
+}
+
+
+def challenge_trajectory(name: str) -> List[FramePose]:
+    """Build the trajectory for a challenge key like ``'speed/fast'``."""
+    if name not in CHALLENGES:
+        raise KeyError(f"unknown challenge {name!r}; choices: {sorted(CHALLENGES)}")
+    family, setting = CHALLENGES[name]
+    if family == "rotation":
+        return rotation_trajectory(setting)
+    if family == "speed":
+        return speed_trajectory(setting)
+    return angle_trajectory(setting)

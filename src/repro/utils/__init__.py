@@ -1,0 +1,48 @@
+"""Shared utilities: deterministic RNG, image I/O, rasterization, logging."""
+
+from .drawing import (
+    circle_mask,
+    draw_line,
+    fill_circle,
+    fill_polygon,
+    fill_rect,
+    polygon_mask,
+    regular_polygon_points,
+    star_points,
+)
+from .imageio import (
+    ascii_preview,
+    from_uint8,
+    load_image,
+    load_npy,
+    save_image,
+    save_npy,
+    to_uint8,
+)
+from .logging import TrainLog
+from .rng import derive_seed, make_rng, spawn_rngs
+from .timer import Budget, Stopwatch
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "save_image",
+    "load_image",
+    "save_npy",
+    "load_npy",
+    "to_uint8",
+    "from_uint8",
+    "ascii_preview",
+    "fill_rect",
+    "fill_polygon",
+    "fill_circle",
+    "draw_line",
+    "polygon_mask",
+    "circle_mask",
+    "star_points",
+    "regular_polygon_points",
+    "TrainLog",
+    "Budget",
+    "Stopwatch",
+]

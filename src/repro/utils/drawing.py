@@ -1,0 +1,131 @@
+"""Rasterization primitives for the procedural scene renderer.
+
+Everything draws into float32 CHW images in place. These primitives back
+both the road-scene sprites (cars, arrows, painted words) and the Four
+Shapes patch dataset, so they are written for clarity and determinism, not
+anti-aliased beauty.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "fill_rect",
+    "fill_polygon",
+    "fill_circle",
+    "draw_line",
+    "polygon_mask",
+    "circle_mask",
+    "star_points",
+    "regular_polygon_points",
+]
+
+Color = Tuple[float, float, float]
+
+
+def _color_array(image: np.ndarray, color) -> np.ndarray:
+    channels = image.shape[0]
+    color = np.asarray(color, dtype=np.float32).reshape(-1)
+    if color.size == 1:
+        color = np.repeat(color, channels)
+    if color.size != channels:
+        raise ValueError(f"color size {color.size} != channels {channels}")
+    return color
+
+
+def fill_rect(image: np.ndarray, y0: int, x0: int, y1: int, x1: int, color) -> None:
+    """Fill the half-open rectangle [y0:y1, x0:x1] with ``color``."""
+    _, h, w = image.shape
+    y0, y1 = max(0, y0), min(h, y1)
+    x0, x1 = max(0, x0), min(w, x1)
+    if y0 >= y1 or x0 >= x1:
+        return
+    color = _color_array(image, color)
+    image[:, y0:y1, x0:x1] = color[:, None, None]
+
+
+def polygon_mask(shape_hw: Tuple[int, int], points: Sequence[Tuple[float, float]]) -> np.ndarray:
+    """Boolean mask of pixels inside a polygon given as (y, x) vertices.
+
+    Uses the even-odd (crossing-number) rule evaluated on the pixel grid.
+    """
+    h, w = shape_hw
+    ys, xs = np.mgrid[0:h, 0:w]
+    ys = ys + 0.5
+    xs = xs + 0.5
+    inside = np.zeros((h, w), dtype=bool)
+    pts = list(points)
+    n = len(pts)
+    for i in range(n):
+        y0, x0 = pts[i]
+        y1, x1 = pts[(i + 1) % n]
+        crosses = ((y0 <= ys) & (ys < y1)) | ((y1 <= ys) & (ys < y0))
+        denom = (y1 - y0)
+        if abs(denom) < 1e-12:
+            continue
+        x_at = x0 + (ys - y0) * (x1 - x0) / denom
+        inside ^= crosses & (xs < x_at)
+    return inside
+
+
+def circle_mask(shape_hw: Tuple[int, int], cy: float, cx: float, radius: float) -> np.ndarray:
+    h, w = shape_hw
+    ys, xs = np.mgrid[0:h, 0:w]
+    return (ys + 0.5 - cy) ** 2 + (xs + 0.5 - cx) ** 2 <= radius ** 2
+
+
+def fill_polygon(image: np.ndarray, points: Sequence[Tuple[float, float]], color) -> None:
+    mask = polygon_mask(image.shape[1:], points)
+    color = _color_array(image, color)
+    image[:, mask] = color[:, None]
+
+
+def fill_circle(image: np.ndarray, cy: float, cx: float, radius: float, color) -> None:
+    mask = circle_mask(image.shape[1:], cy, cx, radius)
+    color = _color_array(image, color)
+    image[:, mask] = color[:, None]
+
+
+def draw_line(image: np.ndarray, y0: float, x0: float, y1: float, x1: float,
+              color, thickness: float = 1.0) -> None:
+    """Draw a line segment with the given thickness (distance test)."""
+    _, h, w = image.shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    ys = ys + 0.5
+    xs = xs + 0.5
+    dy, dx = y1 - y0, x1 - x0
+    length_sq = dy * dy + dx * dx
+    if length_sq < 1e-12:
+        mask = (ys - y0) ** 2 + (xs - x0) ** 2 <= thickness ** 2
+    else:
+        t = np.clip(((ys - y0) * dy + (xs - x0) * dx) / length_sq, 0.0, 1.0)
+        py = y0 + t * dy
+        px = x0 + t * dx
+        mask = (ys - py) ** 2 + (xs - px) ** 2 <= (thickness / 2.0) ** 2
+    color = _color_array(image, color)
+    image[:, mask] = color[:, None]
+
+
+def star_points(cy: float, cx: float, outer: float, inner: float,
+                spikes: int = 5, rotation: float = 0.0) -> list:
+    """Vertices (y, x) of a star polygon with the given spike count."""
+    points = []
+    for i in range(2 * spikes):
+        radius = outer if i % 2 == 0 else inner
+        angle = rotation + math.pi * i / spikes - math.pi / 2
+        points.append((cy + radius * math.sin(angle), cx + radius * math.cos(angle)))
+    return points
+
+
+def regular_polygon_points(cy: float, cx: float, radius: float,
+                           sides: int, rotation: float = 0.0) -> list:
+    """Vertices (y, x) of a regular polygon."""
+    points = []
+    for i in range(sides):
+        angle = rotation + 2 * math.pi * i / sides - math.pi / 2
+        points.append((cy + radius * math.sin(angle), cx + radius * math.cos(angle)))
+    return points

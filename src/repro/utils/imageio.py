@@ -1,0 +1,104 @@
+"""Minimal image I/O without external imaging libraries.
+
+Images in this project are float32 numpy arrays in CHW layout with values
+in [0, 1] (3 channels = RGB, 1 channel = grayscale). This module saves and
+loads them as binary PPM/PGM (viewable almost anywhere) or ``.npy``, and
+renders quick ASCII previews for logs and benchmark reports — the
+reproduction's stand-in for the paper's photographs (Figs. 2–8).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "to_uint8",
+    "from_uint8",
+    "save_image",
+    "load_image",
+    "save_npy",
+    "load_npy",
+    "ascii_preview",
+]
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Convert a [0,1] float CHW image to HWC uint8."""
+    image = np.asarray(image)
+    if image.ndim != 3:
+        raise ValueError(f"expected CHW image, got shape {image.shape}")
+    clipped = np.clip(image, 0.0, 1.0)
+    return (clipped.transpose(1, 2, 0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def from_uint8(array: np.ndarray) -> np.ndarray:
+    """Convert an HWC uint8 image to [0,1] float CHW."""
+    if array.ndim == 2:
+        array = array[:, :, None]
+    return (array.astype(np.float32) / 255.0).transpose(2, 0, 1)
+
+
+def save_image(image: np.ndarray, path: str) -> None:
+    """Save a CHW float image as binary PPM (3ch) or PGM (1ch)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    pixels = to_uint8(image)
+    height, width, channels = pixels.shape
+    if channels == 1:
+        header = f"P5\n{width} {height}\n255\n".encode()
+        payload = pixels[:, :, 0].tobytes()
+    elif channels == 3:
+        header = f"P6\n{width} {height}\n255\n".encode()
+        payload = pixels.tobytes()
+    else:
+        raise ValueError(f"unsupported channel count {channels}")
+    with open(path, "wb") as handle:
+        handle.write(header + payload)
+
+
+def load_image(path: str) -> np.ndarray:
+    """Load a binary PPM/PGM file saved by :func:`save_image`."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic not in (b"P5", b"P6"):
+            raise ValueError(f"unsupported netpbm magic {magic!r} in {path}")
+        dims = handle.readline().split()
+        while dims and dims[0].startswith(b"#"):
+            dims = handle.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(handle.readline())
+        if maxval != 255:
+            raise ValueError(f"unsupported maxval {maxval} in {path}")
+        channels = 3 if magic == b"P6" else 1
+        payload = np.frombuffer(handle.read(width * height * channels), dtype=np.uint8)
+    return from_uint8(payload.reshape(height, width, channels))
+
+
+def save_npy(image: np.ndarray, path: str) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.save(path, np.asarray(image, dtype=np.float32))
+
+
+def load_npy(path: str) -> np.ndarray:
+    return np.load(path)
+
+
+def ascii_preview(image: np.ndarray, width: int = 48) -> str:
+    """Render a coarse ASCII-art preview of a CHW image."""
+    image = np.asarray(image)
+    if image.ndim == 3:
+        gray = image.mean(axis=0)
+    else:
+        gray = image
+    h, w = gray.shape
+    out_w = min(width, w)
+    out_h = max(1, int(h * out_w / w / 2))  # terminal cells are ~2x tall
+    ys = (np.linspace(0, h - 1, out_h)).astype(int)
+    xs = (np.linspace(0, w - 1, out_w)).astype(int)
+    small = np.clip(gray[np.ix_(ys, xs)], 0, 1)
+    indices = (small * (len(_ASCII_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in indices)

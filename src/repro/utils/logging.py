@@ -1,0 +1,43 @@
+"""Tiny structured logger used by the training loops.
+
+Avoids the stdlib ``logging`` global-config pitfalls in test environments:
+each component owns a :class:`TrainLog` that collects records and optionally
+echoes to stdout. Benchmarks read the collected history to report
+convergence behaviour.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional, TextIO
+
+__all__ = ["TrainLog"]
+
+
+class TrainLog:
+    """Collects per-step metric dictionaries and optionally prints them."""
+
+    def __init__(self, name: str, echo: bool = False, stream: Optional[TextIO] = None):
+        self.name = name
+        self.echo = echo
+        self.stream = stream or sys.stdout
+        self.records: List[Dict[str, float]] = []
+        self._start = time.perf_counter()
+
+    def log(self, step: int, **metrics: float) -> None:
+        record = {"step": float(step), "elapsed": time.perf_counter() - self._start}
+        record.update({k: float(v) for k, v in metrics.items()})
+        self.records.append(record)
+        if self.echo:
+            parts = " ".join(f"{k}={v:.4g}" for k, v in metrics.items())
+            self.stream.write(f"[{self.name}] step {step}: {parts}\n")
+
+    def last(self, key: str, default: float = float("nan")) -> float:
+        for record in reversed(self.records):
+            if key in record:
+                return record[key]
+        return default
+
+    def series(self, key: str) -> List[float]:
+        return [r[key] for r in self.records if key in r]

@@ -1,0 +1,51 @@
+"""Wall-clock timing helpers for benchmarks and budgeted training loops."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Stopwatch", "Budget"]
+
+
+class Stopwatch:
+    """Simple start/lap stopwatch."""
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self._start = time.perf_counter()
+        self._last = self._start
+
+    def lap(self) -> float:
+        """Seconds since the previous lap (or reset)."""
+        now = time.perf_counter()
+        delta = now - self._last
+        self._last = now
+        return delta
+
+    def total(self) -> float:
+        return time.perf_counter() - self._start
+
+
+class Budget:
+    """A wall-clock budget that training loops can poll to stop early.
+
+    The reduced-scale experiment profiles cap optimization time so the whole
+    benchmark suite stays laptop-friendly; a ``None`` limit never expires.
+    """
+
+    def __init__(self, seconds: Optional[float] = None):
+        self.seconds = seconds
+        self._start = time.perf_counter()
+
+    def exhausted(self) -> bool:
+        if self.seconds is None:
+            return False
+        return (time.perf_counter() - self._start) >= self.seconds
+
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return float("inf")
+        return max(0.0, self.seconds - (time.perf_counter() - self._start))

@@ -1,0 +1,111 @@
+"""Attack configuration validation and artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    PAPER_TRICKS,
+    AttackConfig,
+    AttackResult,
+    SavaBaselineResult,
+    cached_path,
+    load_attack,
+    load_baseline,
+    save_attack,
+    save_baseline,
+)
+from repro.utils.logging import TrainLog
+
+
+class TestConfig:
+    def test_defaults_match_paper_tricks(self):
+        config = AttackConfig()
+        assert config.tricks == PAPER_TRICKS
+        assert config.tricks == frozenset({"resize", "rotation", "gamma", "perspective"})
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(shape="hexagon")
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(n_patches=0)
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(k=4)
+
+    def test_unknown_trick_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(tricks=frozenset({"hologram"}))
+
+    def test_consecutive_batch_divisibility(self):
+        with pytest.raises(ValueError):
+            AttackConfig(consecutive=True, batch_frames=7, group=3)
+
+    def test_same_target_victim_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(target_class="mark", victim_class="mark")
+
+    def test_cache_key_stable_and_distinct(self):
+        a = AttackConfig()
+        b = AttackConfig(n_patches=6)
+        assert a.cache_key() == AttackConfig().cache_key()
+        assert a.cache_key() != b.cache_key()
+
+    def test_cache_key_reflects_tricks(self):
+        a = AttackConfig(tricks=frozenset({"resize"}))
+        b = AttackConfig(tricks=frozenset({"rotation"}))
+        assert a.cache_key() != b.cache_key()
+
+
+class TestArtifacts:
+    def make_attack(self):
+        return AttackResult(
+            patch=np.random.default_rng(0).random((1, 20, 20)).astype(np.float32),
+            alpha=np.ones((20, 20), dtype=np.float32),
+            config=AttackConfig(k=20, steps=3, warmup_steps=1),
+            history=TrainLog("test"),
+            world_size_m=0.5,
+        )
+
+    def test_attack_roundtrip(self, tmp_path):
+        result = self.make_attack()
+        path = str(tmp_path / "attack.npz")
+        save_attack(result, path)
+        loaded = load_attack(path)
+        np.testing.assert_allclose(loaded.patch, result.patch)
+        np.testing.assert_allclose(loaded.alpha, result.alpha)
+        assert loaded.config == result.config
+        assert loaded.world_size_m == result.world_size_m
+
+    def test_baseline_roundtrip(self, tmp_path):
+        result = SavaBaselineResult(
+            patch_rgb=np.random.default_rng(1).random((3, 20, 20)).astype(np.float32),
+            config=AttackConfig(k=20, consecutive=False),
+            history=TrainLog("test"),
+            world_size_m=0.5,
+        )
+        path = str(tmp_path / "sava.npz")
+        save_baseline(result, path)
+        loaded = load_baseline(path)
+        np.testing.assert_allclose(loaded.patch_rgb, result.patch_rgb)
+        assert loaded.config == result.config
+
+    def test_cached_path_distinguishes_kinds(self, tmp_path):
+        config = AttackConfig()
+        assert cached_path(str(tmp_path), config, "attack") != cached_path(
+            str(tmp_path), config, "sava"
+        )
+
+    def test_deploy_digital_uses_patch_verbatim(self):
+        result = self.make_attack()
+        decals = result.deploy(physical=False)
+        np.testing.assert_allclose(decals.patch_rgb[0], result.patch[0])
+        assert len(decals.offsets) == result.config.n_patches
+
+    def test_deploy_physical_prints_patch(self):
+        result = self.make_attack()
+        digital = result.deploy(physical=False)
+        physical = result.deploy(physical=True, rng=np.random.default_rng(0))
+        assert not np.allclose(digital.patch_rgb, physical.patch_rgb)

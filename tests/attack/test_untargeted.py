@@ -1,0 +1,87 @@
+"""Untargeted (disappearance) attack mode — extension beyond the paper."""
+
+import numpy as np
+import pytest
+
+from repro.attack import AttackConfig, attack_loss, train_patch_attack
+from repro.detection import TinyYolo, reduced_config
+from repro.eval import FrameOutcome, missed_rate
+from repro.nn import Tensor
+from repro.scene import AttackScenario
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyYolo(reduced_config(input_size=64, width_multiplier=0.25), seed=0)
+
+
+class TestUntargetedLoss:
+    def test_untargeted_loss_finite(self, model, rng):
+        outputs = model(Tensor(rng.random((1, 3, 64, 64)).astype(np.float32)))
+        loss = attack_loss(outputs, [np.asarray([32.0, 32.0, 10.0, 10.0])],
+                           model, target_label=1, objectness_weight=0.3,
+                           targeted=False)
+        assert np.isfinite(loss.data)
+
+    def test_untargeted_differs_from_targeted(self, model, rng):
+        outputs = model(Tensor(rng.random((1, 3, 64, 64)).astype(np.float32)))
+        box = [np.asarray([32.0, 32.0, 10.0, 10.0])]
+        targeted = attack_loss(outputs, box, model, 1, 0.3, targeted=True)
+        untargeted = attack_loss(outputs, box, model, 1, 0.3, targeted=False)
+        assert float(targeted.data) != pytest.approx(float(untargeted.data))
+
+    def test_untargeted_decreases_objectness_under_optimization(self, model, rng):
+        from repro.nn import Adam, Parameter
+        from repro.nn import functional as F
+
+        theta = Parameter(rng.normal(0, 0.1, size=(1, 3, 64, 64)))
+        optimizer = Adam([theta], lr=0.05)
+        for p in model.parameters():
+            p.requires_grad = False
+        try:
+            first = None
+            for _ in range(6):
+                outputs = model(F.sigmoid(theta))
+                loss = attack_loss(outputs, [np.asarray([32.0, 32.0, 10.0, 10.0])],
+                                   model, 1, 0.3, targeted=False)
+                if first is None:
+                    first = float(loss.data)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            assert float(loss.data) <= first
+        finally:
+            for p in model.parameters():
+                p.requires_grad = True
+
+
+class TestUntargetedConfig:
+    def test_cache_key_distinguishes_modes(self):
+        targeted = AttackConfig()
+        untargeted = AttackConfig(targeted=False)
+        assert targeted.cache_key() != untargeted.cache_key()
+
+    def test_untargeted_attack_trains(self, model):
+        scenario = AttackScenario(image_size=64)
+        config = AttackConfig(targeted=False, steps=3, warmup_steps=1,
+                              batch_frames=6, frame_pool=12, gan_batch=6, k=20)
+        result = train_patch_attack(model, scenario, config)
+        assert result.patch.shape == (1, 20, 20)
+
+
+class TestMissedRate:
+    def test_all_detected_zero(self):
+        outcomes = [FrameOutcome(predicted_class=2)] * 4
+        assert missed_rate(outcomes) == 0.0
+
+    def test_all_missed_hundred(self):
+        outcomes = [FrameOutcome(predicted_class=None)] * 4
+        assert missed_rate(outcomes) == 100.0
+
+    def test_mixed(self):
+        outcomes = [FrameOutcome(predicted_class=None),
+                    FrameOutcome(predicted_class=2)]
+        assert missed_rate(outcomes) == 50.0
+
+    def test_empty(self):
+        assert missed_rate([]) == 0.0

@@ -1,0 +1,105 @@
+"""Detection confirmation tracker (the CWC rule as a running system)."""
+
+import numpy as np
+import pytest
+
+from repro.av import DetectionConfirmer
+from repro.detection.decode import Detection
+
+
+def det(box, class_id, score=0.9):
+    return Detection(
+        box_xyxy=np.asarray(box, dtype=np.float32),
+        score=score,
+        class_id=class_id,
+        class_probs=np.zeros(5, dtype=np.float32),
+    )
+
+
+BOX = [20, 20, 40, 40]
+NEARBY = [22, 21, 42, 41]
+ELSEWHERE = [70, 70, 90, 90]
+
+
+class TestConfirmation:
+    def test_confirms_after_three_consecutive_frames(self):
+        confirmer = DetectionConfirmer(confirm_frames=3)
+        assert confirmer.update([det(BOX, 2)]) == []
+        assert confirmer.update([det(NEARBY, 2)]) == []
+        confirmed = confirmer.update([det(BOX, 2)])
+        assert len(confirmed) == 1
+        assert confirmed[0].class_id == 2
+
+    def test_two_frames_not_enough(self):
+        confirmer = DetectionConfirmer(confirm_frames=3)
+        confirmer.update([det(BOX, 2)])
+        assert confirmer.update([det(BOX, 2)]) == []
+
+    def test_class_flip_restarts_count(self):
+        confirmer = DetectionConfirmer(confirm_frames=3)
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([det(BOX, 2)])
+        assert confirmer.update([det(BOX, 1)]) == []  # flip resets
+        confirmer.update([det(BOX, 1)])
+        confirmed = confirmer.update([det(BOX, 1)])
+        assert len(confirmed) == 1
+        assert confirmed[0].class_id == 1
+
+    def test_missed_frame_breaks_streak(self):
+        confirmer = DetectionConfirmer(confirm_frames=3)
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([])  # missed
+        assert confirmer.update([det(BOX, 2)]) == []
+
+    def test_track_dropped_after_max_missed(self):
+        confirmer = DetectionConfirmer(confirm_frames=2, max_missed=1)
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([])
+        confirmer.update([])
+        assert confirmer.tracks == []
+
+    def test_distant_detection_starts_new_track(self):
+        confirmer = DetectionConfirmer(confirm_frames=3)
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([det(ELSEWHERE, 2)])
+        assert len(confirmer.tracks) == 2
+
+    def test_two_objects_tracked_independently(self):
+        confirmer = DetectionConfirmer(confirm_frames=2)
+        for _ in range(2):
+            confirmed = confirmer.update([det(BOX, 2), det(ELSEWHERE, 3)])
+        assert {c.class_id for c in confirmed} == {2, 3}
+
+    def test_confirmed_object_stays_confirmed_while_detected(self):
+        confirmer = DetectionConfirmer(confirm_frames=2)
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([det(BOX, 2)])
+        confirmed = confirmer.update([det(BOX, 2)])
+        assert len(confirmed) == 1
+
+    def test_reset_clears_state(self):
+        confirmer = DetectionConfirmer(confirm_frames=1)
+        confirmer.update([det(BOX, 2)])
+        confirmer.reset()
+        assert confirmer.tracks == []
+        assert confirmer.frame_index == 0
+
+    def test_invalid_confirm_frames_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionConfirmer(confirm_frames=0)
+
+    def test_matches_cwc_semantics(self):
+        """Confirmation after K consecutive wrong-class frames is exactly
+        what the CWC metric reports."""
+        from repro.eval import FrameOutcome, cwc
+
+        confirmer = DetectionConfirmer(confirm_frames=3)
+        frames = [det(BOX, 1)] * 3  # attacker's wrong class for 3 frames
+        confirmed_any = False
+        outcomes = []
+        for d in frames:
+            confirmed = confirmer.update([d])
+            confirmed_any |= any(c.class_id == 1 for c in confirmed)
+            outcomes.append(FrameOutcome(predicted_class=1))
+        assert confirmed_any == cwc(outcomes, target_label=1)

@@ -1,0 +1,102 @@
+"""Rule planner and the end-to-end AV pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.av import Action, AvPipeline, ConfirmedObject, RulePlanner
+from repro.detection import TinyYolo, reduced_config
+from repro.detection.config import CLASS_NAMES
+
+
+def confirmed(class_name, box, track_id=0, score=0.9):
+    return ConfirmedObject(
+        track_id=track_id,
+        class_id=CLASS_NAMES.index(class_name),
+        box_xyxy=np.asarray(box, dtype=np.float32),
+        score=score,
+    )
+
+
+CENTER_NEAR = [40, 60, 60, 90]   # central corridor, close (bottom at 90/96)
+CENTER_FAR = [40, 20, 60, 40]
+SIDE = [0, 60, 10, 90]
+
+
+class TestRulePlanner:
+    @pytest.fixture
+    def planner(self):
+        return RulePlanner(image_size=96)
+
+    def test_cruise_when_nothing_confirmed(self, planner):
+        assert planner.decide([]).action == Action.CRUISE
+
+    def test_person_in_corridor_brakes(self, planner):
+        decision = planner.decide([confirmed("person", CENTER_NEAR)])
+        assert decision.action == Action.BRAKE
+        assert "person" in decision.reason
+
+    def test_bicycle_in_corridor_brakes(self, planner):
+        assert planner.decide([confirmed("bicycle", CENTER_NEAR)]).action == Action.BRAKE
+
+    def test_person_outside_corridor_ignored(self, planner):
+        assert planner.decide([confirmed("person", SIDE)]).action == Action.CRUISE
+
+    def test_near_car_slows(self, planner):
+        assert planner.decide([confirmed("car", CENTER_NEAR)]).action == Action.SLOW
+
+    def test_far_car_cruises(self, planner):
+        assert planner.decide([confirmed("car", CENTER_FAR)]).action == Action.CRUISE
+
+    def test_mark_triggers_lane_guidance(self, planner):
+        assert planner.decide([confirmed("mark", CENTER_NEAR)]).action == Action.FOLLOW_ARROW
+
+    def test_word_triggers_slow(self, planner):
+        assert planner.decide([confirmed("word", CENTER_NEAR)]).action == Action.SLOW
+
+    def test_brake_has_priority_over_guidance(self, planner):
+        decision = planner.decide([
+            confirmed("mark", CENTER_NEAR, track_id=1),
+            confirmed("person", CENTER_NEAR, track_id=2),
+        ])
+        assert decision.action == Action.BRAKE
+
+    def test_attack_changes_behaviour(self, planner):
+        """The paper's end-to-end threat: arrow read as word changes the
+        vehicle's action from lane guidance to an unnecessary slow-down."""
+        clean = planner.decide([confirmed("mark", CENTER_NEAR)])
+        attacked = planner.decide([confirmed("word", CENTER_NEAR)])
+        assert clean.action == Action.FOLLOW_ARROW
+        assert attacked.action == Action.SLOW
+
+    def test_drive_maps_whole_stream(self, planner):
+        stream = [[], [confirmed("mark", CENTER_NEAR)], []]
+        decisions = planner.drive(stream)
+        assert [d.action for d in decisions] == [
+            Action.CRUISE, Action.FOLLOW_ARROW, Action.CRUISE,
+        ]
+
+
+class TestAvPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        detector = TinyYolo(reduced_config(input_size=64, width_multiplier=0.25),
+                            seed=0)
+        return AvPipeline(detector, confirm_frames=2, conf_threshold=0.9)
+
+    def test_step_returns_trace(self, pipeline, rng):
+        trace = pipeline.step(rng.random((3, 64, 64)).astype(np.float32))
+        assert trace.decision.action in Action
+        assert isinstance(trace.detections, list)
+
+    def test_run_resets_state(self, pipeline, rng):
+        frames = [rng.random((3, 64, 64)).astype(np.float32) for _ in range(3)]
+        pipeline.run(frames)
+        assert pipeline.confirmer.frame_index == 3
+        pipeline.run(frames)
+        assert pipeline.confirmer.frame_index == 3  # reset happened
+
+    def test_action_counts_cover_run(self, pipeline, rng):
+        frames = [rng.random((3, 64, 64)).astype(np.float32) for _ in range(4)]
+        traces = pipeline.run(frames)
+        counts = AvPipeline.action_counts(traces)
+        assert sum(counts.values()) == 4

@@ -1,0 +1,33 @@
+"""Shared test fixtures and numerical-gradient helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array`` in place."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = fn()
+        array[index] = original - eps
+        lower = fn()
+        array[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+        iterator.iternext()
+    return grad.astype(np.float32)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def numgrad():
+    return numerical_gradient

@@ -1,0 +1,115 @@
+"""Detector data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.detection import GroundTruth
+from repro.detection.augment import (
+    AugmentConfig,
+    augment_sample,
+    horizontal_flip,
+    photometric_jitter,
+    translate,
+)
+
+
+@pytest.fixture
+def sample(rng):
+    image = rng.random((3, 32, 32)).astype(np.float32)
+    truth = GroundTruth(np.asarray([[10.0, 20.0, 6.0, 8.0]]), np.asarray([2]))
+    return image, truth
+
+
+class TestFlip:
+    def test_mirrors_pixels(self, sample):
+        image, truth = sample
+        flipped, _ = horizontal_flip(image, truth)
+        np.testing.assert_allclose(flipped[:, :, 0], image[:, :, -1])
+
+    def test_reflects_box_center(self, sample):
+        image, truth = sample
+        _, new_truth = horizontal_flip(image, truth)
+        assert new_truth.boxes_xywh[0, 0] == pytest.approx(32 - 10.0)
+        assert new_truth.boxes_xywh[0, 1] == pytest.approx(20.0)  # y unchanged
+
+    def test_double_flip_identity(self, sample):
+        image, truth = sample
+        twice_img, twice_truth = horizontal_flip(*horizontal_flip(image, truth))
+        np.testing.assert_allclose(twice_img, image)
+        np.testing.assert_allclose(twice_truth.boxes_xywh, truth.boxes_xywh)
+
+    def test_empty_truth_ok(self, rng):
+        image = rng.random((3, 16, 16)).astype(np.float32)
+        truth = GroundTruth(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        _, out = horizontal_flip(image, truth)
+        assert len(out.labels) == 0
+
+
+class TestJitter:
+    def test_output_in_range(self, sample, rng):
+        image, _ = sample
+        out = photometric_jitter(image, rng, AugmentConfig())
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_changes_pixels(self, sample):
+        image, _ = sample
+        out = photometric_jitter(image, np.random.default_rng(3), AugmentConfig())
+        assert not np.allclose(out, image)
+
+
+class TestTranslate:
+    def test_box_follows_shift(self, sample):
+        config = AugmentConfig(max_translate_fraction=0.25)
+        image, truth = sample
+        rng = np.random.default_rng(1)
+        out_image, out_truth = translate(image, truth, rng, config)
+        assert out_image.shape == image.shape
+        if len(out_truth.labels):
+            # The box stays inside the frame.
+            cx, cy = out_truth.boxes_xywh[0, :2]
+            assert 0 < cx < 32 and 0 < cy < 32
+
+    def test_box_dropped_when_pushed_out(self, rng):
+        config = AugmentConfig(max_translate_fraction=0.5)
+        image = rng.random((3, 20, 20)).astype(np.float32)
+        truth = GroundTruth(np.asarray([[1.0, 1.0, 2.0, 2.0]]), np.asarray([0]))
+        # Force a large shift by trying several seeds.
+        dropped = False
+        for seed in range(20):
+            _, out = translate(image, truth, np.random.default_rng(seed), config)
+            if len(out.labels) == 0:
+                dropped = True
+                break
+        assert dropped
+
+    def test_zero_translate_identity(self, sample):
+        config = AugmentConfig(max_translate_fraction=0.0)
+        image, truth = sample
+        out_image, out_truth = translate(image, truth, np.random.default_rng(0),
+                                         config)
+        np.testing.assert_allclose(out_image, image)
+        np.testing.assert_allclose(out_truth.boxes_xywh, truth.boxes_xywh)
+
+
+class TestPipeline:
+    def test_augment_sample_valid_output(self, sample):
+        image, truth = sample
+        for seed in range(5):
+            out_image, out_truth = augment_sample(
+                image, truth, np.random.default_rng(seed)
+            )
+            assert out_image.shape == image.shape
+            assert ((out_image >= 0) & (out_image <= 1)).all()
+            assert len(out_truth.boxes_xywh) == len(out_truth.labels)
+
+    def test_training_with_augmentation_runs(self):
+        from repro.detection import DetectorTrainConfig, TinyYolo, reduced_config, train_detector
+        from repro.scene import DatasetConfig, build_dataset
+
+        model = TinyYolo(reduced_config(input_size=64, width_multiplier=0.25), seed=4)
+        samples = build_dataset(8, DatasetConfig(image_size=64, seed=31))
+        log = train_detector(
+            model, samples,
+            DetectorTrainConfig(epochs=1, batch_size=4, augment=True, log_every=1),
+        )
+        assert all(np.isfinite(l) for l in log.series("loss"))

@@ -1,0 +1,102 @@
+"""Box geometry: conversions, IoU, clipping — including hypothesis laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (
+    box_area,
+    clip_boxes,
+    iou_matrix,
+    iou_pairwise,
+    xywh_to_xyxy,
+    xyxy_to_xywh,
+)
+
+finite_coord = st.floats(min_value=-500, max_value=500, width=32)
+positive_size = st.floats(min_value=0.125, max_value=200, width=32)
+
+
+class TestConversions:
+    def test_xywh_to_xyxy_known_value(self):
+        out = xywh_to_xyxy(np.asarray([10.0, 20.0, 4.0, 8.0]))
+        np.testing.assert_allclose(out, [8.0, 16.0, 12.0, 24.0])
+
+    def test_xyxy_to_xywh_known_value(self):
+        out = xyxy_to_xywh(np.asarray([8.0, 16.0, 12.0, 24.0]))
+        np.testing.assert_allclose(out, [10.0, 20.0, 4.0, 8.0])
+
+    @given(cx=finite_coord, cy=finite_coord, w=positive_size, h=positive_size)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, cx, cy, w, h):
+        box = np.asarray([cx, cy, w, h], dtype=np.float32)
+        back = xyxy_to_xywh(xywh_to_xyxy(box))
+        np.testing.assert_allclose(back, box, atol=1e-2)
+
+    def test_batched_conversion(self):
+        boxes = np.asarray([[[0, 0, 2, 2], [5, 5, 2, 4]]], dtype=np.float32)
+        out = xywh_to_xyxy(boxes)
+        assert out.shape == (1, 2, 4)
+
+
+class TestIoU:
+    def test_identical_boxes_iou_one(self):
+        box = np.asarray([0.0, 0.0, 10.0, 10.0])
+        assert iou_pairwise(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes_iou_zero(self):
+        a = np.asarray([0.0, 0.0, 1.0, 1.0])
+        b = np.asarray([5.0, 5.0, 6.0, 6.0])
+        assert iou_pairwise(a, b) == pytest.approx(0.0)
+
+    def test_half_overlap(self):
+        a = np.asarray([0.0, 0.0, 2.0, 2.0])
+        b = np.asarray([1.0, 0.0, 3.0, 2.0])
+        # Intersection 2, union 6.
+        assert iou_pairwise(a, b) == pytest.approx(1 / 3)
+
+    def test_degenerate_box_iou_zero(self):
+        a = np.asarray([1.0, 1.0, 1.0, 1.0])  # zero-area
+        b = np.asarray([0.0, 0.0, 2.0, 2.0])
+        assert iou_pairwise(a, b) == pytest.approx(0.0)
+
+    def test_iou_matrix_shape_and_symmetry(self, rng):
+        a = np.abs(rng.normal(size=(4, 4))) * 10
+        a[:, 2:] += a[:, :2] + 1
+        b = np.abs(rng.normal(size=(3, 4))) * 10
+        b[:, 2:] += b[:, :2] + 1
+        matrix = iou_matrix(a, b)
+        assert matrix.shape == (4, 3)
+        np.testing.assert_allclose(matrix, iou_matrix(b, a).T, rtol=1e-5)
+
+    @given(
+        data=st.lists(
+            st.tuples(finite_coord, finite_coord, positive_size, positive_size),
+            min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_iou_bounded_property(self, data):
+        boxes = xywh_to_xyxy(np.asarray(data, dtype=np.float32))
+        matrix = iou_matrix(boxes, boxes)
+        assert ((matrix >= 0) & (matrix <= 1.0 + 1e-5)).all()
+        np.testing.assert_allclose(np.diag(matrix), 1.0, atol=1e-5)
+
+
+class TestAreaAndClip:
+    def test_box_area(self):
+        assert box_area(np.asarray([0.0, 0.0, 3.0, 4.0])) == pytest.approx(12.0)
+
+    def test_negative_extent_clamps_to_zero(self):
+        assert box_area(np.asarray([5.0, 5.0, 1.0, 1.0])) == pytest.approx(0.0)
+
+    def test_clip_boxes(self):
+        boxes = np.asarray([[-5.0, -5.0, 200.0, 50.0]])
+        out = clip_boxes(boxes, width=100, height=40)
+        np.testing.assert_allclose(out, [[0.0, 0.0, 100.0, 40.0]])
+
+    def test_clip_does_not_mutate_input(self):
+        boxes = np.asarray([[-5.0, 0.0, 5.0, 5.0]], dtype=np.float32)
+        clip_boxes(boxes, 10, 10)
+        assert boxes[0, 0] == -5.0

@@ -1,0 +1,63 @@
+"""Non-maximum suppression behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.detection import non_max_suppression
+
+
+def boxes_of(*rows):
+    return np.asarray(rows, dtype=np.float32)
+
+
+class TestNms:
+    def test_keeps_highest_score_of_overlapping_pair(self):
+        boxes = boxes_of([0, 0, 10, 10], [1, 1, 11, 11])
+        kept = non_max_suppression(boxes, np.asarray([0.5, 0.9]), iou_threshold=0.5)
+        assert kept == [1]
+
+    def test_keeps_disjoint_boxes(self):
+        boxes = boxes_of([0, 0, 10, 10], [20, 20, 30, 30])
+        kept = non_max_suppression(boxes, np.asarray([0.9, 0.5]))
+        assert sorted(kept) == [0, 1]
+
+    def test_different_classes_not_suppressed(self):
+        boxes = boxes_of([0, 0, 10, 10], [0, 0, 10, 10])
+        kept = non_max_suppression(
+            boxes, np.asarray([0.9, 0.8]), class_ids=np.asarray([0, 1])
+        )
+        assert sorted(kept) == [0, 1]
+
+    def test_same_class_suppressed(self):
+        boxes = boxes_of([0, 0, 10, 10], [0, 0, 10, 10])
+        kept = non_max_suppression(
+            boxes, np.asarray([0.9, 0.8]), class_ids=np.asarray([0, 0])
+        )
+        assert kept == [0]
+
+    def test_max_detections_cap(self):
+        boxes = np.stack(
+            [np.asarray([i * 20, 0, i * 20 + 10, 10], dtype=np.float32) for i in range(10)]
+        )
+        kept = non_max_suppression(boxes, np.linspace(1, 0.1, 10), max_detections=3)
+        assert len(kept) == 3
+
+    def test_results_ordered_by_score(self):
+        boxes = boxes_of([0, 0, 5, 5], [20, 20, 25, 25], [40, 40, 45, 45])
+        scores = np.asarray([0.2, 0.9, 0.5])
+        kept = non_max_suppression(boxes, scores)
+        assert kept == [1, 2, 0]
+
+    def test_empty_input(self):
+        assert non_max_suppression(np.zeros((0, 4)), np.zeros(0)) == []
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            non_max_suppression(np.zeros((2, 4)), np.zeros(3))
+
+    def test_chain_suppression_is_greedy(self):
+        # b overlaps a, c overlaps b but not a: greedy keeps a and c.
+        boxes = boxes_of([0, 0, 10, 10], [6, 0, 16, 10], [12, 0, 22, 10])
+        kept = non_max_suppression(boxes, np.asarray([0.9, 0.8, 0.7]),
+                                   iou_threshold=0.2)
+        assert kept == [0, 2]

@@ -1,0 +1,144 @@
+"""Target assignment and the YOLO loss."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    GroundTruth,
+    TinyYolo,
+    build_targets,
+    reduced_config,
+    yolo_loss,
+)
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def config():
+    return reduced_config(input_size=64, width_multiplier=0.25)
+
+
+class TestGroundTruth:
+    def test_misaligned_boxes_labels_raise(self):
+        with pytest.raises(ValueError):
+            GroundTruth(np.zeros((2, 4)), np.zeros(3, dtype=int))
+
+    def test_empty_ground_truth_allowed(self):
+        gt = GroundTruth(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        assert len(gt.labels) == 0
+
+
+class TestBuildTargets:
+    def test_exactly_one_positive_per_box(self, config):
+        gt = GroundTruth(np.asarray([[32.0, 32.0, 10.0, 12.0]]), np.asarray([2]))
+        heads = build_targets([gt], config)
+        total_pos = sum(h.obj_mask.sum() for h in heads)
+        assert total_pos == 1
+
+    def test_positive_in_center_cell(self, config):
+        gt = GroundTruth(np.asarray([[40.0, 24.0, 6.0, 6.0]]), np.asarray([0]))
+        heads = build_targets([gt], config)
+        for head in heads:
+            positions = np.argwhere(head.obj_mask)
+            for _, _, row, col in positions:
+                stride = head.stride
+                assert col == int(40.0 / stride)
+                assert row == int(24.0 / stride)
+
+    def test_positive_excluded_from_noobj(self, config):
+        gt = GroundTruth(np.asarray([[32.0, 32.0, 10.0, 12.0]]), np.asarray([1]))
+        heads = build_targets([gt], config)
+        for head in heads:
+            assert not (head.obj_mask & head.noobj_mask).any()
+
+    def test_offsets_in_unit_range(self, config):
+        gt = GroundTruth(np.asarray([[37.0, 41.0, 8.0, 8.0]]), np.asarray([3]))
+        heads = build_targets([gt], config)
+        for head in heads:
+            offsets = head.txy[head.obj_mask]
+            assert ((offsets >= 0) & (offsets < 1)).all()
+
+    def test_one_hot_class_target(self, config):
+        gt = GroundTruth(np.asarray([[32.0, 32.0, 10.0, 12.0]]), np.asarray([4]))
+        heads = build_targets([gt], config)
+        for head in heads:
+            classes = head.classes[head.obj_mask]
+            for row in classes:
+                np.testing.assert_allclose(row, [0, 0, 0, 0, 1])
+
+    def test_degenerate_boxes_skipped(self, config):
+        gt = GroundTruth(np.asarray([[32.0, 32.0, 0.5, 0.5]]), np.asarray([0]))
+        heads = build_targets([gt], config)
+        assert sum(h.obj_mask.sum() for h in heads) == 0
+
+    def test_out_of_range_label_raises(self, config):
+        gt = GroundTruth(np.asarray([[32.0, 32.0, 10.0, 10.0]]), np.asarray([9]))
+        with pytest.raises(ValueError):
+            build_targets([gt], config)
+
+    def test_box_at_image_edge_clamps_to_grid(self, config):
+        gt = GroundTruth(np.asarray([[63.9, 63.9, 10.0, 10.0]]), np.asarray([0]))
+        heads = build_targets([gt], config)  # must not raise IndexError
+        assert sum(h.obj_mask.sum() for h in heads) == 1
+
+    def test_batch_dimension_respected(self, config):
+        gts = [
+            GroundTruth(np.asarray([[20.0, 20.0, 8.0, 8.0]]), np.asarray([0])),
+            GroundTruth(np.zeros((0, 4)), np.zeros(0, dtype=int)),
+        ]
+        heads = build_targets(gts, config)
+        for head in heads:
+            assert not head.obj_mask[1].any()
+
+
+class TestYoloLoss:
+    def test_loss_is_finite_and_positive(self, config):
+        model = TinyYolo(config, seed=0)
+        images = np.random.default_rng(0).random((2, 3, 64, 64)).astype(np.float32)
+        gts = [
+            GroundTruth(np.asarray([[30.0, 30.0, 10.0, 14.0]]), np.asarray([2])),
+            GroundTruth(np.asarray([[12.0, 40.0, 8.0, 8.0]]), np.asarray([0])),
+        ]
+        result = yolo_loss(model(Tensor(images)), gts, config)
+        assert np.isfinite(result.total.data)
+        assert float(result.total.data) > 0
+
+    def test_empty_truth_only_objectness(self, config):
+        model = TinyYolo(config, seed=0)
+        images = np.zeros((1, 3, 64, 64), dtype=np.float32)
+        gts = [GroundTruth(np.zeros((0, 4)), np.zeros(0, dtype=int))]
+        result = yolo_loss(model(Tensor(images)), gts, config)
+        assert result.xy == 0.0
+        assert result.wh == 0.0
+        assert result.classification == 0.0
+        assert result.objectness > 0.0
+
+    def test_loss_decreases_with_training_step(self, config):
+        from repro.nn import Adam
+
+        model = TinyYolo(config, seed=0)
+        images = np.random.default_rng(1).random((2, 3, 64, 64)).astype(np.float32)
+        gts = [
+            GroundTruth(np.asarray([[30.0, 30.0, 10.0, 14.0]]), np.asarray([2])),
+            GroundTruth(np.asarray([[12.0, 40.0, 8.0, 8.0]]), np.asarray([0])),
+        ]
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        first = None
+        for _ in range(15):
+            result = yolo_loss(model(Tensor(images)), gts, config)
+            if first is None:
+                first = float(result.total.data)
+            optimizer.zero_grad()
+            result.total.backward()
+            optimizer.step()
+        assert float(result.total.data) < first
+
+    def test_gradients_flow_to_all_heads(self, config):
+        model = TinyYolo(config, seed=0)
+        images = np.random.default_rng(2).random((1, 3, 64, 64)).astype(np.float32)
+        gts = [GroundTruth(np.asarray([[30.0, 30.0, 10.0, 14.0]]), np.asarray([2]))]
+        result = yolo_loss(model(Tensor(images)), gts, config)
+        model.zero_grad()
+        result.total.backward()
+        assert model.head_coarse.weight.grad is not None
+        assert model.head_fine.weight.grad is not None

@@ -1,0 +1,72 @@
+"""Printability-aware transforms: print_response and blur3."""
+
+import numpy as np
+import pytest
+
+from repro.eot.transforms import blur3, print_response
+from repro.nn import Tensor
+
+
+class TestPrintResponse:
+    def test_compresses_gamut(self):
+        patch = Tensor(np.asarray([[[[0.0, 1.0]]]], dtype=np.float32))
+        out = print_response(patch).data.reshape(-1)
+        assert out[0] == pytest.approx(0.06, abs=0.01)
+        assert out[1] == pytest.approx(0.93, abs=0.01)
+
+    def test_monotone(self, rng):
+        values = np.sort(rng.random(16).astype(np.float32))
+        patch = Tensor(values.reshape(1, 1, 4, 4))
+        out = print_response(patch).data.reshape(-1)
+        flat_in = values.reshape(-1)
+        order = np.argsort(flat_in)
+        assert (np.diff(out[order]) >= -1e-6).all()
+
+    def test_differentiable(self, rng):
+        patch = Tensor(rng.random((1, 1, 4, 4)).astype(np.float32),
+                       requires_grad=True)
+        print_response(patch).sum().backward()
+        assert patch.grad is not None
+        assert (patch.grad > 0).all()  # strictly monotone map
+
+    def test_matches_physical_print_model_for_monochrome(self, rng):
+        from repro.scene.physical import PrintModel, print_patch
+
+        gray = rng.random((1, 8, 8)).astype(np.float32)
+        differentiable = print_response(Tensor(gray[None])).data[0, 0]
+        # The stochastic print model without gain jitter reduces to the same
+        # deterministic response for monochrome input.
+        model = PrintModel(gain_jitter=0.0, crosstalk=0.0)
+        printed = print_patch(gray, np.random.default_rng(0), model)[0]
+        np.testing.assert_allclose(differentiable, printed, atol=1e-5)
+
+
+class TestBlur3:
+    def test_preserves_shape(self, rng):
+        image = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        assert blur3(image).shape == (2, 3, 8, 8)
+
+    def test_constant_image_unchanged_in_interior(self):
+        image = Tensor(np.full((1, 1, 6, 6), 0.4, dtype=np.float32))
+        out = blur3(image).data
+        np.testing.assert_allclose(out[0, 0, 2:4, 2:4], 0.4, atol=1e-6)
+
+    def test_reduces_contrast_of_checkerboard(self):
+        board = np.indices((8, 8)).sum(axis=0) % 2
+        image = Tensor(board[None, None].astype(np.float32))
+        out = blur3(image).data
+        assert out.std() < image.data.std()
+
+    def test_channels_blurred_independently(self, rng):
+        image = np.zeros((1, 3, 6, 6), dtype=np.float32)
+        image[0, 0, 3, 3] = 1.0  # impulse in channel 0 only
+        out = blur3(Tensor(image)).data
+        assert out[0, 0].sum() > 0
+        np.testing.assert_allclose(out[0, 1], 0.0)
+        np.testing.assert_allclose(out[0, 2], 0.0)
+
+    def test_differentiable(self, rng):
+        image = Tensor(rng.random((1, 3, 6, 6)).astype(np.float32),
+                       requires_grad=True)
+        blur3(image).sum().backward()
+        assert image.grad is not None

@@ -1,0 +1,110 @@
+"""EOT sampling distributions and the composed pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.eot import ALL_TRICKS, EOTPipeline, EOTSampler, tricks_from_numbers
+from repro.nn import Tensor
+
+
+class TestTricksFromNumbers:
+    def test_paper_subset(self):
+        assert tricks_from_numbers((1, 2, 4, 5)) == frozenset(
+            {"resize", "rotation", "gamma", "perspective"}
+        )
+
+    def test_unknown_number_raises(self):
+        with pytest.raises(KeyError):
+            tricks_from_numbers((7,))
+
+
+class TestSampler:
+    def test_disabled_tricks_stay_identity(self, rng):
+        sampler = EOTSampler(tricks=frozenset({"rotation"}))
+        for _ in range(10):
+            params = sampler.sample(rng)
+            assert params.scale == 1.0
+            assert params.gamma_value == 1.0
+            assert params.brightness_delta == 0.0
+            assert params.perspective_tilt == 0.0
+
+    def test_enabled_tricks_vary(self, rng):
+        sampler = EOTSampler(tricks=ALL_TRICKS)
+        angles = {sampler.sample(rng).angle_degrees for _ in range(10)}
+        assert len(angles) > 1
+
+    def test_samples_within_ranges(self, rng):
+        sampler = EOTSampler(tricks=ALL_TRICKS)
+        for _ in range(50):
+            params = sampler.sample(rng)
+            assert sampler.scale_range[0] <= params.scale <= sampler.scale_range[1]
+            assert sampler.gamma_range[0] <= params.gamma_value <= sampler.gamma_range[1] + 1e-6
+            assert sampler.tilt_range[0] <= params.perspective_tilt <= sampler.tilt_range[1]
+
+    def test_unknown_trick_rejected(self):
+        with pytest.raises(ValueError):
+            EOTSampler(tricks=frozenset({"warp-drive"}))
+
+    def test_deterministic_given_seed(self):
+        sampler = EOTSampler()
+        a = sampler.sample(np.random.default_rng(7))
+        b = sampler.sample(np.random.default_rng(7))
+        assert a == b
+
+
+class TestPipeline:
+    def test_identity_when_no_tricks(self, rng):
+        pipeline = EOTPipeline.with_tricks(frozenset())
+        patch = Tensor(rng.random((1, 1, 12, 12)).astype(np.float32),
+                       requires_grad=True)
+        out, _, params = pipeline.sample_and_apply(patch, rng)
+        np.testing.assert_allclose(out.data, patch.data, atol=1e-5)
+
+    def test_full_pipeline_preserves_shape(self, rng):
+        pipeline = EOTPipeline.with_tricks(ALL_TRICKS)
+        patch = Tensor(rng.random((1, 1, 24, 24)).astype(np.float32),
+                       requires_grad=True)
+        out, _, _ = pipeline.sample_and_apply(patch, rng)
+        assert out.shape == patch.shape
+        assert ((out.data >= -1e-5) & (out.data <= 1 + 1e-5)).all()
+
+    def test_gradients_flow_through_full_chain(self, rng):
+        pipeline = EOTPipeline.with_tricks(ALL_TRICKS)
+        patch = Tensor(rng.random((1, 1, 24, 24)).astype(np.float32),
+                       requires_grad=True)
+        out, _, _ = pipeline.sample_and_apply(patch, rng)
+        out.sum().backward()
+        assert patch.grad is not None
+        assert np.abs(patch.grad).sum() > 0
+
+    def test_alpha_gets_geometric_transforms_only(self, rng):
+        pipeline = EOTPipeline.with_tricks(ALL_TRICKS)
+        patch = Tensor(np.zeros((1, 1, 16, 16), dtype=np.float32))
+        alpha = Tensor(np.ones((1, 1, 16, 16), dtype=np.float32))
+        _, alpha_out, params = pipeline.sample_and_apply(patch, rng, alpha=alpha)
+        # Alpha remains in [0, 1] regardless of photometric params.
+        assert alpha_out is not None
+        assert ((alpha_out.data >= 0) & (alpha_out.data <= 1 + 1e-5)).all()
+
+    def test_alpha_shrinks_with_patch_on_resize(self, rng):
+        pipeline = EOTPipeline.with_tricks(frozenset({"resize"}))
+        pipeline.sampler.scale_range = (0.5, 0.5)
+        alpha = Tensor(np.ones((1, 1, 16, 16), dtype=np.float32))
+        patch = Tensor(np.zeros((1, 1, 16, 16), dtype=np.float32))
+        _, alpha_out, _ = pipeline.sample_and_apply(patch, rng, alpha=alpha)
+        # Alpha's out-of-range padding is transparent (0), so the border
+        # becomes transparent after shrinking.
+        assert alpha_out.data[0, 0, 0, 0] == pytest.approx(0.0, abs=1e-5)
+        assert alpha_out.data[0, 0, 8, 8] == pytest.approx(1.0, abs=1e-5)
+
+    def test_fixed_params_applied_in_order(self, rng):
+        from repro.eot import TransformParams
+
+        pipeline = EOTPipeline.with_tricks(ALL_TRICKS)
+        patch = Tensor(rng.random((1, 1, 12, 12)).astype(np.float32))
+        params = TransformParams(scale=0.8, angle_degrees=45.0,
+                                 brightness_delta=0.1, gamma_value=1.2,
+                                 perspective_tilt=0.3)
+        out = pipeline.apply(patch, params)
+        assert out.shape == patch.shape
+        assert np.isfinite(out.data).all()

@@ -1,0 +1,132 @@
+"""EOT transforms: identity behaviour, geometry, differentiability."""
+
+import numpy as np
+import pytest
+
+from repro.eot import (
+    TRICK_NAMES,
+    TRICK_NUMBERS,
+    TransformParams,
+    brightness,
+    gamma,
+    perspective,
+    resize,
+    rotate,
+)
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def patch(rng):
+    return Tensor(rng.random((2, 1, 16, 16)).astype(np.float32), requires_grad=True)
+
+
+class TestTrickNumbering:
+    def test_paper_numbering(self):
+        assert TRICK_NUMBERS == {
+            1: "resize", 2: "rotation", 3: "brightness", 4: "gamma", 5: "perspective"
+        }
+        assert TRICK_NAMES["perspective"] == 5
+
+
+class TestResize:
+    def test_output_keeps_shape(self, patch):
+        assert resize(patch, 0.7).shape == patch.shape
+
+    def test_scale_one_near_identity(self, patch):
+        out = resize(patch, 1.0)
+        np.testing.assert_allclose(out.data, patch.data, atol=1e-4)
+
+    def test_shrink_pads_with_background(self):
+        dark = Tensor(np.zeros((1, 1, 16, 16), dtype=np.float32))
+        out = resize(dark, 0.5)
+        # Corners now read the white (1.0) padding.
+        assert out.data[0, 0, 0, 0] == pytest.approx(1.0)
+        assert out.data[0, 0, 8, 8] == pytest.approx(0.0, abs=1e-5)
+
+    def test_gradients_flow(self, patch):
+        resize(patch, 0.8).sum().backward()
+        assert patch.grad is not None
+
+
+class TestRotate:
+    def test_zero_angle_identity(self, patch):
+        np.testing.assert_allclose(rotate(patch, 0.0).data, patch.data, atol=1e-4)
+
+    def test_four_quarter_turns_identity(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.random((1, 1, 17, 17)).astype(np.float32))
+        out = x
+        for _ in range(4):
+            out = rotate(out, 90.0)
+        # Center region should come back (borders may touch padding).
+        np.testing.assert_allclose(
+            out.data[0, 0, 4:13, 4:13], x.data[0, 0, 4:13, 4:13], atol=0.05
+        )
+
+    def test_180_flips(self):
+        x = np.ones((1, 1, 9, 9), dtype=np.float32)
+        x[0, 0, 0, :] = 0.0  # dark top row
+        out = rotate(Tensor(x), 180.0)
+        assert out.data[0, 0, -1, 4] == pytest.approx(0.0, abs=0.05)
+        assert out.data[0, 0, 0, 4] == pytest.approx(1.0, abs=0.05)
+
+    def test_gradients_flow(self, patch):
+        rotate(patch, 35.0).sum().backward()
+        assert patch.grad is not None
+
+
+class TestPhotometric:
+    def test_brightness_adds_and_clips(self):
+        x = Tensor(np.asarray([[[[0.9, 0.2]]]], dtype=np.float32))
+        out = brightness(x, 0.3)
+        np.testing.assert_allclose(out.data.reshape(-1), [1.0, 0.5], atol=1e-6)
+
+    def test_gamma_identity_at_one(self, patch):
+        np.testing.assert_allclose(gamma(patch, 1.0).data, patch.data, atol=1e-3)
+
+    def test_gamma_darkens_above_one(self):
+        x = Tensor(np.full((1, 1, 2, 2), 0.5, dtype=np.float32))
+        assert gamma(x, 2.0).data[0, 0, 0, 0] == pytest.approx(0.25, abs=1e-3)
+
+    def test_gamma_rejects_nonpositive(self, patch):
+        with pytest.raises(ValueError):
+            gamma(patch, 0.0)
+
+    def test_gamma_is_nonlinear_unlike_brightness(self):
+        # The paper argues (4) beats (3) because print/lighting response is
+        # non-linear: gamma changes dark and bright pixels differently.
+        x = Tensor(np.asarray([[[[0.2, 0.8]]]], dtype=np.float32))
+        bright = brightness(x, 0.1).data.reshape(-1) - x.data.reshape(-1)
+        gam = gamma(x, 0.7).data.reshape(-1) - x.data.reshape(-1)
+        assert bright[0] == pytest.approx(bright[1], abs=1e-6)
+        assert abs(gam[0] - gam[1]) > 1e-3
+
+
+class TestPerspective:
+    def test_zero_tilt_identity(self, patch):
+        np.testing.assert_allclose(perspective(patch, 0.0).data, patch.data, atol=1e-4)
+
+    def test_tilt_squeezes_top(self):
+        # A black vertical stripe widens less at the bottom than the top
+        # shrinks: check the far (top) row samples from a wider source span,
+        # pulling in white background at the edges.
+        x = np.zeros((1, 1, 20, 20), dtype=np.float32)
+        out = perspective(Tensor(x), 0.6)
+        top_white = (out.data[0, 0, 0] > 0.5).sum()
+        bottom_white = (out.data[0, 0, -1] > 0.5).sum()
+        assert top_white > bottom_white
+
+    def test_gradients_flow(self, patch):
+        perspective(patch, 0.5).sum().backward()
+        assert patch.grad is not None
+
+
+class TestTransformParams:
+    def test_defaults_are_identity(self):
+        params = TransformParams()
+        assert params.scale == 1.0
+        assert params.angle_degrees == 0.0
+        assert params.brightness_delta == 0.0
+        assert params.gamma_value == 1.0
+        assert params.perspective_tilt == 0.0

@@ -1,0 +1,103 @@
+"""PWC / CWC metrics (Eq. 3 and the 3-consecutive-frame rule)."""
+
+import numpy as np
+import pytest
+
+from repro.detection.decode import Detection
+from repro.eval import (
+    CWC_RUN_LENGTH,
+    FrameOutcome,
+    classify_frame,
+    cwc,
+    pwc,
+    score_video,
+)
+
+
+def det(box, score, class_id):
+    return Detection(
+        box_xyxy=np.asarray(box, dtype=np.float32),
+        score=score,
+        class_id=class_id,
+        class_probs=np.zeros(5, dtype=np.float32),
+    )
+
+
+def outcomes_of(*classes):
+    return [FrameOutcome(predicted_class=c) for c in classes]
+
+
+class TestClassifyFrame:
+    def test_overlapping_detection_wins(self):
+        target = np.asarray([20.0, 20.0, 10.0, 10.0])  # xywh
+        result = classify_frame([det([15, 15, 25, 25], 0.9, 3)], target)
+        assert result.predicted_class == 3
+
+    def test_non_overlapping_detection_ignored(self):
+        target = np.asarray([20.0, 20.0, 10.0, 10.0])
+        result = classify_frame([det([50, 50, 60, 60], 0.9, 3)], target)
+        assert result.predicted_class is None
+
+    def test_highest_score_among_overlaps(self):
+        target = np.asarray([20.0, 20.0, 10.0, 10.0])
+        result = classify_frame(
+            [det([15, 15, 25, 25], 0.5, 1), det([16, 16, 26, 26], 0.8, 4)],
+            target,
+        )
+        assert result.predicted_class == 4
+        assert result.score == pytest.approx(0.8)
+
+    def test_no_target_box_means_missed(self):
+        assert classify_frame([det([0, 0, 5, 5], 0.9, 0)], None).predicted_class is None
+
+    def test_iou_threshold_respected(self):
+        target = np.asarray([20.0, 20.0, 10.0, 10.0])
+        barely = det([24, 24, 40, 40], 0.9, 2)
+        strict = classify_frame([barely], target, iou_threshold=0.9)
+        assert strict.predicted_class is None
+
+
+class TestPwc:
+    def test_paper_equation(self):
+        outcomes = outcomes_of(1, 1, 2, None, 1)
+        assert pwc(outcomes, target_label=1) == pytest.approx(60.0)
+
+    def test_empty_video_zero(self):
+        assert pwc([], 1) == 0.0
+
+    def test_all_wrong_class_is_100(self):
+        assert pwc(outcomes_of(1, 1, 1), 1) == pytest.approx(100.0)
+
+    def test_missed_frames_do_not_count(self):
+        assert pwc(outcomes_of(None, None, 1), 1) == pytest.approx(100 / 3)
+
+
+class TestCwc:
+    def test_run_length_is_three(self):
+        assert CWC_RUN_LENGTH == 3
+
+    def test_exactly_three_consecutive_triggers(self):
+        assert cwc(outcomes_of(2, 1, 1, 1, 2), 1)
+
+    def test_interrupted_run_does_not_trigger(self):
+        assert not cwc(outcomes_of(1, 1, 2, 1, 1), 1)
+
+    def test_none_breaks_streak(self):
+        assert not cwc(outcomes_of(1, 1, None, 1, 1), 1)
+
+    def test_longer_requirement(self):
+        outcomes = outcomes_of(1, 1, 1, 1)
+        assert cwc(outcomes, 1, run_length=4)
+        assert not cwc(outcomes, 1, run_length=5)
+
+    def test_empty_false(self):
+        assert not cwc([], 1)
+
+
+class TestScoreVideo:
+    def test_combines_both_metrics(self):
+        outcomes = outcomes_of(1, 1, 1, 2)
+        result = score_video(outcomes, 1)
+        assert result.pwc == pytest.approx(75.0)
+        assert result.cwc
+        assert len(result.outcomes) == 4

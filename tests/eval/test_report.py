@@ -1,0 +1,45 @@
+"""Paper-style table formatting."""
+
+from repro.eval import CHALLENGE_TITLES, ChallengeResult, format_row, format_table
+
+
+def result(challenge, pwc, cwc):
+    return ChallengeResult(challenge=challenge, pwc=pwc, cwc=cwc)
+
+
+class TestFormatting:
+    def test_cell_format(self):
+        assert result("speed/slow", 78.4, True).cell() == "78% / Y"
+        assert result("speed/slow", 0.0, False).cell() == "0% / X"
+
+    def test_row_includes_all_challenges(self):
+        results = {
+            "speed/slow": result("speed/slow", 50, True),
+            "speed/fast": result("speed/fast", 10, False),
+        }
+        row = format_row("ours", results, ("speed/slow", "speed/fast"))
+        assert "ours" in row
+        assert "50% / Y" in row
+        assert "10% / X" in row
+
+    def test_missing_challenge_renders_dash(self):
+        row = format_row("ours", {}, ("speed/slow",))
+        assert "-" in row
+
+    def test_table_has_title_header_rows(self):
+        rows = {
+            "w/o attack": {"speed/slow": result("speed/slow", 0, False)},
+            "ours": {"speed/slow": result("speed/slow", 80, True)},
+        }
+        table = format_table("Table X", rows, ("speed/slow",))
+        lines = table.splitlines()
+        assert lines[0] == "Table X"
+        assert any("slow" in line for line in lines)
+        assert any("w/o attack" in line for line in lines)
+        assert any("80% / Y" in line for line in lines)
+
+    def test_all_challenges_have_titles(self):
+        from repro.eval import DEFAULT_CHALLENGES
+
+        for challenge in DEFAULT_CHALLENGES:
+            assert challenge in CHALLENGE_TITLES

@@ -1,0 +1,130 @@
+"""End-to-end integration at smoke scale.
+
+These tests exercise the whole pipeline — dataset → detector → attack →
+evaluation — with tiny budgets. They verify wiring, not attack quality
+(quality is the benchmarks' job).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack import AttackConfig, train_patch_attack, train_sava_baseline
+from repro.detection import (
+    DetectorTrainConfig,
+    TinyYolo,
+    detections_from_outputs,
+    reduced_config,
+    train_detector,
+)
+from repro.eval import evaluate_challenges, run_challenge
+from repro.nn import Tensor, no_grad
+from repro.scene import AttackScenario, DatasetConfig, build_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_detector():
+    """A minimally trained detector shared by the integration tests."""
+    config = reduced_config(input_size=64, width_multiplier=0.25)
+    model = TinyYolo(config, seed=0)
+    samples = build_dataset(24, DatasetConfig(image_size=64, seed=11))
+    train_detector(model, samples,
+                   DetectorTrainConfig(epochs=4, batch_size=8, seed=0))
+    return model
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return AttackScenario(image_size=64)
+
+
+def tiny_attack_config(**overrides):
+    base = dict(steps=4, warmup_steps=2, batch_frames=6, frame_pool=12,
+                gan_batch=6, k=20)
+    base.update(overrides)
+    return AttackConfig(**base)
+
+
+class TestDetectorPipeline:
+    def test_training_reduces_loss(self, tiny_detector):
+        # Fixture already trained; retrain two more epochs and compare logs.
+        samples = build_dataset(8, DatasetConfig(image_size=64, seed=12))
+        log = train_detector(
+            tiny_detector, samples,
+            DetectorTrainConfig(epochs=2, batch_size=8, seed=1, log_every=1),
+        )
+        losses = log.series("loss")
+        assert len(losses) >= 2
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_inference_runs_after_training(self, tiny_detector):
+        image = build_dataset(1, DatasetConfig(image_size=64, seed=13))[0][0]
+        with no_grad():
+            outputs = tiny_detector(Tensor(image[None]))
+        detections = detections_from_outputs(outputs, tiny_detector.config,
+                                             conf_threshold=0.05)
+        assert isinstance(detections[0], list)
+
+
+class TestAttackPipeline:
+    def test_attack_trains_and_deploys(self, tiny_detector, scenario):
+        result = train_patch_attack(tiny_detector, scenario, tiny_attack_config())
+        assert result.patch.shape == (1, 20, 20)
+        assert result.alpha.shape == (20, 20)
+        assert ((result.patch >= 0) & (result.patch <= 1)).all()
+        decals = result.deploy(physical=False)
+        assert decals.patch_rgb.shape == (3, 20, 20)
+        assert len(decals.offsets) == result.config.n_patches
+
+    def test_attack_leaves_detector_unchanged(self, tiny_detector, scenario):
+        before = {name: p.data.copy() for name, p in tiny_detector.named_parameters()}
+        train_patch_attack(tiny_detector, scenario, tiny_attack_config(seed=5))
+        for name, p in tiny_detector.named_parameters():
+            np.testing.assert_allclose(p.data, before[name])
+
+    def test_attack_restores_requires_grad(self, tiny_detector, scenario):
+        train_patch_attack(tiny_detector, scenario, tiny_attack_config(seed=6))
+        assert all(p.requires_grad for p in tiny_detector.parameters())
+
+    def test_scenario_mismatch_rejected(self, tiny_detector):
+        wrong = AttackScenario(image_size=64, target_class="car")
+        with pytest.raises(ValueError):
+            train_patch_attack(tiny_detector, wrong, tiny_attack_config())
+
+    def test_baseline_trains(self, tiny_detector, scenario):
+        result = train_sava_baseline(
+            tiny_detector, scenario,
+            tiny_attack_config(consecutive=False),
+        )
+        assert result.patch_rgb.shape == (3, 20, 20)
+        # Colored patch: channels should differ somewhere.
+        assert result.patch_rgb.std(axis=0).max() > 1e-4
+
+
+class TestEvaluationPipeline:
+    def test_run_challenge_returns_sane_result(self, tiny_detector, scenario):
+        result = run_challenge(tiny_detector, scenario, "speed/fast",
+                               artifact=None, n_runs=1)
+        assert 0.0 <= result.pwc <= 100.0
+        assert isinstance(result.cwc, bool)
+        assert len(result.runs) == 1
+
+    def test_evaluate_challenges_covers_requested(self, tiny_detector, scenario):
+        results = evaluate_challenges(
+            tiny_detector, scenario, challenges=("rotation/fix", "angle/0"),
+            n_runs=1,
+        )
+        assert set(results) == {"rotation/fix", "angle/0"}
+
+    def test_physical_evaluation_runs(self, tiny_detector, scenario):
+        result = run_challenge(tiny_detector, scenario, "speed/fast",
+                               artifact=None, physical=True, n_runs=1)
+        assert 0.0 <= result.pwc <= 100.0
+
+    def test_unknown_challenge_rejected(self, tiny_detector, scenario):
+        with pytest.raises(KeyError):
+            run_challenge(tiny_detector, scenario, "speed/warp", n_runs=1)
+
+    def test_cell_formatting(self, tiny_detector, scenario):
+        result = run_challenge(tiny_detector, scenario, "rotation/fix", n_runs=1)
+        cell = result.cell()
+        assert "%" in cell and "/" in cell

@@ -1,0 +1,105 @@
+"""The Workbench harness: caching, profiles, reproducibility."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import Workbench, WorkbenchProfile
+
+
+@pytest.fixture()
+def bench(tmp_path):
+    profile = WorkbenchProfile(
+        name="unit",
+        image_size=64,
+        width_multiplier=0.25,
+        train_images=20,
+        test_images=5,
+        detector_epochs=2,
+        detector_batch=8,
+        attack_steps=3,
+        attack_warmup=1,
+        attack_batch_frames=6,
+        frame_pool=12,
+        eval_runs=1,
+    )
+    return Workbench(profile, seed=0, cache_dir=str(tmp_path))
+
+
+class TestProfiles:
+    def test_paper_profile_matches_paper_constants(self):
+        profile = WorkbenchProfile.paper_scale()
+        assert profile.image_size == 416
+        assert profile.width_multiplier == 1.0
+        assert profile.train_images == 1000
+        assert profile.test_images == 71
+        assert profile.attack_batch_frames == 18
+        assert profile.attack_steps == 800
+
+    def test_paper_scale_detector_constructible(self):
+        bench = Workbench.paper_scale(cache_dir="/tmp/unused-cache")
+        # Building the dataset for anchors would be slow; use defaults.
+        bench._anchors = tuple([(10, 14), (23, 27), (37, 58),
+                                (81, 82), (135, 169), (344, 319)])
+        config = bench.detector_config()
+        assert config.input_size == 416
+
+
+class TestWorkbench:
+    def test_dataset_sizes(self, bench):
+        assert len(bench.train_samples()) == 20
+        assert len(bench.test_samples()) == 5
+
+    def test_fitted_anchors_sorted_by_area(self, bench):
+        anchors = bench.fitted_anchors()
+        areas = [w * h for w, h in anchors]
+        assert areas == sorted(areas)
+        assert len(anchors) == 6
+
+    def test_detector_cached_to_disk(self, bench):
+        model = bench.detector()
+        cache_files = os.listdir(bench.cache_dir)
+        assert any(f.startswith("detector_") for f in cache_files)
+        # Second call returns the in-memory instance.
+        assert bench.detector() is model
+
+    def test_detector_reload_reproduces_weights(self, bench, tmp_path):
+        model = bench.detector()
+        fresh = Workbench(bench.profile, seed=0, cache_dir=str(tmp_path))
+        reloaded = fresh.detector()
+        for (name_a, a), (name_b, b) in zip(
+            model.named_parameters(), reloaded.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_attack_artifact_cached(self, bench):
+        bench.detector()
+        first = bench.train_attack()
+        cache_files = [f for f in os.listdir(bench.cache_dir) if f.startswith("attack_")]
+        assert cache_files
+        second = bench.train_attack()  # loads from cache
+        np.testing.assert_allclose(first.patch, second.patch)
+
+    def test_attack_config_profile_scaling(self, bench):
+        config = bench.attack_config()
+        assert config.steps == bench.profile.attack_steps
+        assert config.batch_frames == bench.profile.attack_batch_frames
+
+    def test_attack_config_overrides(self, bench):
+        config = bench.attack_config(n_patches=6, k=20)
+        assert config.n_patches == 6
+        assert config.k == 20
+
+    def test_evaluate_without_artifact(self, bench):
+        bench.detector()
+        results = bench.evaluate(None, challenges=("speed/fast",),
+                                 physical=False, n_runs=1)
+        assert "speed/fast" in results
+
+    def test_evaluate_uses_artifact_target_class(self, bench):
+        bench.detector()
+        attack = bench.train_attack(bench.attack_config(target_class="person", k=20))
+        results = bench.evaluate(attack, challenges=("speed/fast",), n_runs=1)
+        assert "speed/fast" in results

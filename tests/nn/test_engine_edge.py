@@ -1,0 +1,91 @@
+"""Autograd engine edge cases: grad modes, dtypes, repeated backward."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn.tensor import is_grad_enabled
+
+
+class TestGradMode:
+    def test_no_grad_nests(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_tensor_created_under_no_grad_never_requires(self):
+        with no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+        assert not t.requires_grad
+
+    def test_graph_not_recorded_under_no_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = t * 2.0
+        assert out._backward is None
+
+
+class TestDtypes:
+    def test_integer_arrays_preserved(self):
+        t = Tensor(np.asarray([1, 2, 3], dtype=np.int64))
+        assert t.dtype == np.int64
+
+    def test_floats_coerced_to_float32(self):
+        t = Tensor(np.asarray([1.0, 2.0], dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_python_scalars_become_float32(self):
+        assert Tensor(3).dtype == np.float32
+        assert Tensor(3.5).dtype == np.float32
+
+    def test_bool_arrays_preserved(self):
+        t = Tensor(np.asarray([True, False]))
+        assert t.dtype == np.bool_
+
+
+class TestBackwardSemantics:
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        (t * 2.0).sum().backward()
+        first = t.grad.copy()
+        (t * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, 2 * first)
+
+    def test_zero_grad_resets(self):
+        t = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        (t * 3.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_explicit_upstream_gradient(self):
+        t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = t * 4.0
+        out.backward(np.asarray([1.0, 2.0, 3.0], dtype=np.float32))
+        np.testing.assert_allclose(t.grad, [4.0, 8.0, 12.0])
+
+    def test_item_and_len(self):
+        assert Tensor(5.0).item() == pytest.approx(5.0)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_name_annotation(self):
+        t = Tensor(1.0, name="alpha")
+        assert t.name == "alpha"
+
+
+class TestNumpyInterop:
+    def test_ndarray_times_tensor_uses_rmul(self):
+        t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = np.asarray([2.0, 2.0, 2.0], dtype=np.float32) * t
+        assert isinstance(out, Tensor)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 2.0, 2.0])
+
+    def test_ndarray_minus_tensor(self):
+        t = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        out = np.zeros(2, dtype=np.float32) - t
+        assert isinstance(out, Tensor)
+        np.testing.assert_allclose(out.data, [-1.0, -1.0])

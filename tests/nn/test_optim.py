@@ -1,0 +1,99 @@
+"""Optimizers: convergence on toy problems and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, Tensor, clip_grad_norm
+
+
+def quadratic_loss(param):
+    return ((param - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1, dtype=np.float32))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = quadratic_loss(p)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return abs(float(p.data[0]) - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.full(3, 10.0, dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        # Zero loss gradient: only decay acts.
+        p.grad = np.zeros(3, dtype=np.float32)
+        opt.step()
+        assert (np.abs(p.data) < 10.0).all()
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        opt = SGD([p], lr=1.0)
+        opt.step()  # no grad — no change, no crash
+        np.testing.assert_allclose(p.data, np.ones(2))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        opt = Adam([p], lr=0.2)
+        for _ in range(120):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_first_step_size_close_to_lr(self):
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.asarray([5.0], dtype=np.float32)
+        opt.step()
+        # Adam normalizes the first step to roughly lr.
+        assert abs(float(p.data[0])) == pytest.approx(0.1, rel=0.05)
+
+    def test_zero_grad_resets(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        opt = Adam([p])
+        p.grad = np.ones(2, dtype=np.float32)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_gradients(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 0.01, dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, np.full(4, 0.01))
+
+    def test_handles_missing_gradients(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on the autodiff engine.
+
+These check algebraic laws that must hold for any input — linearity of the
+gradient, shape invariants of conv/pool, idempotence of activations — the
+kind of invariants unit examples cannot cover exhaustively.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+small_arrays = st.integers(min_value=2, max_value=6)
+
+
+def rand(shape, seed):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+class TestGradientLaws:
+    @given(n=small_arrays, seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_gradient_is_ones(self, n, seed):
+        t = Tensor(rand((n, n), seed), requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((n, n)))
+
+    @given(seed=st.integers(0, 1000), scale=st.floats(-3, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_linear_in_upstream(self, seed, scale):
+        # backward(c·g) == c · backward(g) for a fixed graph.
+        base = rand((4,), seed)
+        a = Tensor(base.copy(), requires_grad=True)
+        (a * a).backward(np.full(4, 1.0, dtype=np.float32))
+        unit = a.grad.copy()
+        b = Tensor(base.copy(), requires_grad=True)
+        (b * b).backward(np.full(4, scale, dtype=np.float32))
+        np.testing.assert_allclose(b.grad, scale * unit, rtol=1e-4, atol=1e-5)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_rule_through_composition(self, seed):
+        # d/dx sigmoid(2x).sum() == 2·σ'(2x)
+        x = Tensor(rand((5,), seed), requires_grad=True)
+        F.sigmoid(x * 2.0).sum().backward()
+        s = 1 / (1 + np.exp(-2 * x.data))
+        np.testing.assert_allclose(x.grad, 2 * s * (1 - s), rtol=1e-4, atol=1e-5)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_gradient_sums_to_zero(self, seed):
+        # Softmax output sums to 1, so any upstream gradient produces an
+        # input gradient summing to ~0 along the softmax axis.
+        x = Tensor(rand((3, 6), seed), requires_grad=True)
+        upstream = rand((3, 6), seed + 1)
+        F.softmax(x, axis=-1).backward(upstream)
+        np.testing.assert_allclose(x.grad.sum(axis=-1), np.zeros(3), atol=1e-4)
+
+
+class TestShapeInvariants:
+    @given(n=small_arrays, c=small_arrays, size=st.sampled_from([8, 12, 16]),
+           stride=st.sampled_from([1, 2]))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_output_shape_formula(self, n, c, size, stride):
+        x = Tensor(rand((n, c, size, size), 0))
+        w = Tensor(rand((4, c, 3, 3), 1))
+        out = F.conv2d(x, w, stride=stride, padding=1)
+        expected = (size + 2 - 3) // stride + 1
+        assert out.shape == (n, 4, expected, expected)
+
+    @given(size=st.sampled_from([8, 10, 14]))
+    @settings(max_examples=10, deadline=None)
+    def test_pool_then_upsample_shape_roundtrip(self, size):
+        x = Tensor(rand((1, 2, size, size), 0))
+        down = F.max_pool2d(x, 2, 2)
+        up = F.upsample_nearest(down, 2)
+        assert up.shape == (1, 2, size // 2 * 2, size // 2 * 2)
+
+    @given(out_h=st.integers(2, 20), out_w=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_interpolate_hits_requested_size(self, out_h, out_w):
+        x = Tensor(rand((1, 1, 7, 9), 0))
+        assert F.interpolate_bilinear(x, (out_h, out_w)).shape == (1, 1, out_h, out_w)
+
+
+class TestValueInvariants:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sigmoid_bounded(self, seed):
+        x = Tensor(rand((10,), seed) * 100)
+        out = F.sigmoid(x).data
+        assert ((out >= 0) & (out <= 1)).all()
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_max_pool_never_decreases_max(self, seed):
+        x = Tensor(rand((1, 1, 8, 8), seed))
+        out = F.max_pool2d(x, 2, 2)
+        assert out.data.max() == pytest.approx(x.data.max())
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_interpolate_within_input_range(self, seed):
+        x = Tensor(rand((1, 1, 6, 6), seed))
+        out = F.interpolate_bilinear(x, (11, 5)).data
+        assert out.min() >= x.data.min() - 1e-5
+        assert out.max() <= x.data.max() + 1e-5
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_cross_entropy_nonnegative(self, seed):
+        logits = Tensor(rand((4, 5), seed))
+        targets = np.random.default_rng(seed).integers(0, 5, size=4)
+        assert float(F.cross_entropy(logits, targets).data) >= 0.0
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_grid_sample_identity_property(self, seed):
+        size = 7
+        x = Tensor(rand((1, 2, size, size), seed))
+        coords = np.linspace(-1, 1, size, dtype=np.float32)
+        gy, gx = np.meshgrid(coords, coords, indexing="ij")
+        grid = np.stack([gx, gy], axis=-1)[None]
+        out = F.grid_sample(x, grid)
+        np.testing.assert_allclose(out.data, x.data, atol=1e-4)

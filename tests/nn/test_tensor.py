@@ -1,0 +1,219 @@
+"""Autograd engine: arithmetic, broadcasting, graph traversal."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, no_grad, stack
+from repro.nn.tensor import (
+    absolute,
+    clip,
+    maximum,
+    minimum,
+    pad2d,
+    unbroadcast,
+)
+
+
+def make(shape, rng, requires_grad=True):
+    return Tensor(rng.normal(size=shape).astype(np.float32), requires_grad=requires_grad)
+
+
+class TestBasics:
+    def test_scalar_backward_sets_unit_gradient(self):
+        t = Tensor(3.0, requires_grad=True)
+        t.backward()
+        assert t.grad == pytest.approx(1.0)
+
+    def test_backward_requires_scalar_without_explicit_grad(self, rng):
+        t = make((3,), rng)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(1.0))
+
+    def test_detach_cuts_graph(self, rng):
+        t = make((2, 2), rng)
+        out = (t.detach() * 2.0).sum()
+        out.backward()
+        assert t.grad is None
+
+    def test_clone_preserves_gradient_flow(self, rng):
+        t = make((2, 2), rng)
+        t.clone().sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 2)))
+
+    def test_no_grad_disables_recording(self, rng):
+        t = make((2,), rng)
+        with no_grad():
+            out = t * 2.0
+        assert not out.requires_grad
+
+
+class TestArithmetic:
+    def test_add_broadcast_gradients(self, rng):
+        a = make((3, 4), rng)
+        b = make((4,), rng)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full((4,), 3.0))
+
+    def test_mul_gradients(self, rng):
+        a = make((5,), rng)
+        b = make((5,), rng)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data, rtol=1e-6)
+        np.testing.assert_allclose(b.grad, a.data, rtol=1e-6)
+
+    def test_division_gradient(self, rng):
+        a = make((4,), rng)
+        b = Tensor(np.abs(rng.normal(size=(4,))).astype(np.float32) + 1.0,
+                   requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b.data, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, -a.data / b.data ** 2, rtol=1e-4)
+
+    def test_rsub_and_rdiv(self):
+        t = Tensor(np.asarray([2.0], dtype=np.float32), requires_grad=True)
+        (5.0 - t).backward(np.ones(1))
+        assert t.grad[0] == pytest.approx(-1.0)
+        t2 = Tensor(np.asarray([2.0], dtype=np.float32), requires_grad=True)
+        (4.0 / t2).backward(np.ones(1))
+        assert t2.grad[0] == pytest.approx(-1.0)
+
+    def test_power_gradient(self, rng):
+        base = Tensor(np.abs(rng.normal(size=(4,))).astype(np.float32) + 0.5,
+                      requires_grad=True)
+        (base ** 3).sum().backward()
+        np.testing.assert_allclose(base.grad, 3 * base.data ** 2, rtol=1e-4)
+
+    def test_exp_log_roundtrip_gradient(self, rng):
+        t = Tensor(np.abs(rng.normal(size=(3,))).astype(np.float32) + 0.5,
+                   requires_grad=True)
+        t.exp().log().sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(3), rtol=1e-3)
+
+    def test_reuse_accumulates_gradient(self, rng):
+        t = make((3,), rng)
+        ((t * 2.0) + (t * 3.0)).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((3,), 5.0), rtol=1e-6)
+
+    def test_diamond_graph(self, rng):
+        t = make((2,), rng)
+        a = t * 2.0
+        b = a + 1.0
+        c = a * 3.0
+        (b + c).sum().backward()
+        # d/dt[(2t+1) + 6t] = 8
+        np.testing.assert_allclose(t.grad, np.full((2,), 8.0), rtol=1e-6)
+
+
+class TestElementwiseOps:
+    def test_clip_gradient_masks_outside(self):
+        t = Tensor(np.asarray([-2.0, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        clip(t, 0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_abs_gradient_is_sign(self):
+        t = Tensor(np.asarray([-3.0, 4.0], dtype=np.float32), requires_grad=True)
+        absolute(t).sum().backward()
+        np.testing.assert_allclose(t.grad, [-1.0, 1.0])
+
+    def test_maximum_routes_gradient_to_winner(self):
+        a = Tensor(np.asarray([1.0, 5.0], dtype=np.float32), requires_grad=True)
+        b = Tensor(np.asarray([2.0, 3.0], dtype=np.float32), requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_minimum_routes_gradient_to_winner(self):
+        a = Tensor(np.asarray([1.0, 5.0], dtype=np.float32), requires_grad=True)
+        b = Tensor(np.asarray([2.0, 3.0], dtype=np.float32), requires_grad=True)
+        minimum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestReductionsAndShape:
+    def test_mean_gradient(self, rng):
+        t = make((4, 5), rng)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((4, 5), 1 / 20), rtol=1e-6)
+
+    def test_sum_axis_keepdims(self, rng):
+        t = make((2, 3), rng)
+        t.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3)))
+
+    def test_max_gradient_goes_to_argmax(self):
+        t = Tensor(np.asarray([[1.0, 3.0, 2.0]], dtype=np.float32), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape_transpose_roundtrip(self, rng):
+        t = make((2, 3, 4), rng)
+        t.reshape((6, 4)).transpose((1, 0)).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3, 4)))
+
+    def test_getitem_fancy_index_gradient(self, rng):
+        t = make((5, 3), rng)
+        idx = (np.asarray([0, 0, 2]), np.asarray([1, 1, 2]))
+        t[idx].sum().backward()
+        expected = np.zeros((5, 3), dtype=np.float32)
+        expected[0, 1] = 2.0  # repeated index accumulates
+        expected[2, 2] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_concatenate_gradient_splits(self, rng):
+        a = make((2, 3), rng)
+        b = make((2, 2), rng)
+        concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_gradient(self, rng):
+        a = make((3,), rng)
+        b = make((3,), rng)
+        (stack([a, b], axis=0) * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((3,), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3,), 2.0))
+
+    def test_pad2d_gradient(self, rng):
+        t = make((1, 1, 3, 3), rng)
+        pad2d(t, (1, 2, 0, 1)).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((1, 1, 3, 3)))
+
+
+class TestMatmul:
+    def test_matmul_gradcheck(self, rng, numgrad):
+        a = make((3, 4), rng)
+        b = make((4, 2), rng)
+        (a @ b).sum().backward()
+
+        def f():
+            return float((a.data @ b.data).sum())
+
+        np.testing.assert_allclose(a.grad, numgrad(f, a.data), atol=2e-2)
+        np.testing.assert_allclose(b.grad, numgrad(f, b.data), atol=2e-2)
+
+    def test_batched_matmul(self, rng):
+        a = make((2, 3, 4), rng)
+        b = make((2, 4, 5), rng)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+
+class TestUnbroadcast:
+    def test_unbroadcast_sums_leading_axes(self):
+        grad = np.ones((2, 3, 4))
+        out = unbroadcast(grad, (3, 4))
+        np.testing.assert_allclose(out, np.full((3, 4), 2.0))
+
+    def test_unbroadcast_sums_size_one_axes(self):
+        grad = np.ones((2, 3, 4))
+        out = unbroadcast(grad, (2, 1, 4))
+        np.testing.assert_allclose(out, np.full((2, 1, 4), 3.0))

@@ -1,0 +1,185 @@
+"""Patch compositing (differentiable + perspective) and placement."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.patch import (
+    DECAL_ELONGATION,
+    PixelPlacement,
+    apply_patches,
+    paste_patch_perspective,
+    patch_world_length,
+    patch_world_size,
+    placement_offsets,
+    solve_homography,
+)
+
+
+def gray_frame(size=32, value=0.5):
+    return np.full((3, size, size), value, dtype=np.float32)
+
+
+def solid_patch(k=8, value=0.0):
+    return Tensor(np.full((1, 1, k, k), value, dtype=np.float32))
+
+
+def full_alpha(k=8):
+    return Tensor(np.ones((1, 1, k, k), dtype=np.float32))
+
+
+class TestApplyPatches:
+    def test_patch_visible_at_placement(self):
+        frame = gray_frame()
+        out = apply_patches(frame, [solid_patch()], [full_alpha()],
+                            [PixelPlacement(16, 16, 8)])
+        assert out.data[0, :, 16, 16].max() < 0.01
+        assert out.data[0, 0, 2, 2] == pytest.approx(0.5)
+
+    def test_zero_alpha_leaves_frame(self):
+        frame = gray_frame()
+        alpha = Tensor(np.zeros((1, 1, 8, 8), dtype=np.float32))
+        out = apply_patches(frame, [solid_patch()], [alpha],
+                            [PixelPlacement(16, 16, 8)])
+        np.testing.assert_allclose(out.data[0], frame, atol=1e-6)
+
+    def test_anisotropic_paste_respects_height(self):
+        frame = gray_frame()
+        out = apply_patches(frame, [solid_patch()], [full_alpha()],
+                            [PixelPlacement(16, 16, 12, height_px=4)])
+        dark = out.data[0, 0] < 0.1
+        rows = np.nonzero(dark.any(axis=1))[0]
+        cols = np.nonzero(dark.any(axis=0))[0]
+        assert len(rows) == pytest.approx(4, abs=1)
+        assert len(cols) == pytest.approx(12, abs=1)
+
+    def test_partially_outside_clipped(self):
+        frame = gray_frame()
+        out = apply_patches(frame, [solid_patch()], [full_alpha()],
+                            [PixelPlacement(0, 0, 8)])
+        assert out.data[0, 0, 0, 0] < 0.01  # visible corner
+        assert out.shape == (1, 3, 32, 32)
+
+    def test_fully_outside_skipped(self):
+        frame = gray_frame()
+        out = apply_patches(frame, [solid_patch()], [full_alpha()],
+                            [PixelPlacement(-50, -50, 8)])
+        np.testing.assert_allclose(out.data[0], frame)
+
+    def test_tiny_placement_skipped(self):
+        frame = gray_frame()
+        out = apply_patches(frame, [solid_patch()], [full_alpha()],
+                            [PixelPlacement(16, 16, 1)])
+        np.testing.assert_allclose(out.data[0], frame)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            apply_patches(gray_frame(), [solid_patch()], [], [])
+
+    def test_gradients_reach_patch(self):
+        frame = gray_frame()
+        patch = Tensor(np.full((1, 1, 8, 8), 0.3, dtype=np.float32),
+                       requires_grad=True)
+        out = apply_patches(frame, [patch], [full_alpha()],
+                            [PixelPlacement(16, 16, 8)])
+        out.sum().backward()
+        assert patch.grad is not None
+        assert np.abs(patch.grad).sum() > 0
+
+    def test_multiple_patches_composite_in_order(self):
+        frame = gray_frame()
+        white = Tensor(np.ones((1, 1, 8, 8), dtype=np.float32))
+        out = apply_patches(
+            frame,
+            [solid_patch(), white],
+            [full_alpha(), full_alpha()],
+            [PixelPlacement(16, 16, 8), PixelPlacement(16, 16, 8)],
+        )
+        # Second patch painted over the first.
+        assert out.data[0, 0, 16, 16] == pytest.approx(1.0)
+
+
+class TestHomography:
+    def test_identity_square(self):
+        src = np.asarray([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=np.float64)
+        h = solve_homography(src, src)
+        np.testing.assert_allclose(h, np.eye(3), atol=1e-8)
+
+    def test_translation(self):
+        src = np.asarray([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=np.float64)
+        dst = src + [5, 7]
+        h = solve_homography(src, dst)
+        point = h @ np.asarray([0.5, 0.5, 1.0])
+        np.testing.assert_allclose(point[:2] / point[2], [5.5, 7.5], atol=1e-6)
+
+    def test_maps_all_corners(self, rng):
+        src = np.asarray([[0, 0], [10, 0], [10, 10], [0, 10]], dtype=np.float64)
+        dst = src + rng.normal(0, 1, size=(4, 2))
+        h = solve_homography(src, dst)
+        for s, d in zip(src, dst):
+            mapped = h @ np.asarray([s[0], s[1], 1.0])
+            np.testing.assert_allclose(mapped[:2] / mapped[2], d, atol=1e-6)
+
+
+class TestPerspectivePaste:
+    def test_paste_darkens_quad_region(self):
+        frame = gray_frame(48)
+        patch = np.zeros((3, 8, 8), dtype=np.float32)
+        alpha = np.ones((8, 8), dtype=np.float32)
+        quad = np.asarray([[40, 10], [40, 30], [20, 28], [20, 12]], dtype=np.float32)
+        out = paste_patch_perspective(frame, patch, alpha, quad)
+        assert out[0, 30, 20] < 0.05          # inside the quad
+        assert out[0, 5, 5] == pytest.approx(0.5)  # outside untouched
+
+    def test_offscreen_quad_noop(self):
+        frame = gray_frame(32)
+        patch = np.zeros((3, 8, 8), dtype=np.float32)
+        alpha = np.ones((8, 8), dtype=np.float32)
+        quad = np.asarray([[100, 100], [100, 120], [80, 120], [80, 100]],
+                          dtype=np.float32)
+        out = paste_patch_perspective(frame, patch, alpha, quad)
+        np.testing.assert_allclose(out, frame)
+
+    def test_input_frame_not_mutated(self):
+        frame = gray_frame(48)
+        original = frame.copy()
+        patch = np.zeros((3, 8, 8), dtype=np.float32)
+        alpha = np.ones((8, 8), dtype=np.float32)
+        quad = np.asarray([[40, 10], [40, 30], [20, 28], [20, 12]], dtype=np.float32)
+        paste_patch_perspective(frame, patch, alpha, quad)
+        np.testing.assert_allclose(frame, original)
+
+
+class TestPlacement:
+    def test_world_size_scales_with_k(self):
+        assert patch_world_size(60) == pytest.approx(1.5)
+        assert patch_world_size(30) == pytest.approx(0.75)
+
+    def test_world_length_elongated(self):
+        assert patch_world_length(60) == pytest.approx(1.5 * DECAL_ELONGATION)
+
+    def test_constant_total_area(self):
+        ref = patch_world_size(60, n_patches=4)
+        more = patch_world_size(60, n_patches=8, constant_total_area=True)
+        assert 8 * more ** 2 == pytest.approx(4 * ref ** 2, rel=1e-6)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            patch_world_size(0)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 6, 8])
+    def test_offsets_count(self, n):
+        assert len(placement_offsets(n)) == n
+
+    def test_offsets_alternate_sides(self):
+        offsets = placement_offsets(4)
+        sides = [np.sign(o.dx) for o in offsets]
+        assert sides == [-1, 1, -1, 1]
+
+    def test_offsets_centered_along_road(self):
+        offsets = placement_offsets(6)
+        assert np.mean([o.dz for o in offsets]) == pytest.approx(0.0)
+
+    def test_zero_patches_rejected(self):
+        with pytest.raises(ValueError):
+            placement_offsets(0)

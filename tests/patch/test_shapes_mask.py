@@ -1,0 +1,98 @@
+"""Four Shapes generator and background masking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.patch import (
+    SHAPE_NAMES,
+    hard_background_mask,
+    sample_batch,
+    shape_image,
+    shape_mask,
+    soft_background_mask,
+)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_black_on_white(self, shape, rng):
+        image = shape_image(shape, 32, rng)
+        assert image.shape == (1, 32, 32)
+        # Corners white, center region contains black ink.
+        assert image[0, 0, 0] == pytest.approx(1.0)
+        assert image.min() == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_mask_centered_and_nonempty(self, shape):
+        mask = shape_mask(shape, 48, jitter=False)
+        assert mask[24, 24]
+        fraction = mask.mean()
+        assert 0.1 < fraction < 0.7
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(KeyError):
+            shape_image("pentagon", 32)
+
+    def test_star_has_less_area_than_circle(self):
+        star = shape_mask("star", 64, jitter=False).mean()
+        circle = shape_mask("circle", 64, jitter=False).mean()
+        assert star < circle
+
+    def test_jitter_varies_instances(self, rng):
+        a = shape_image("star", 32, rng)
+        b = shape_image("star", 32, rng)
+        assert not np.allclose(a, b)
+
+    def test_sample_batch_shape(self, rng):
+        batch = sample_batch("triangle", 24, 5, rng)
+        assert batch.shape == (5, 1, 24, 24)
+
+    @given(size=st.integers(min_value=10, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_any_size_valid(self, size):
+        image = shape_image("square", size, np.random.default_rng(0))
+        assert image.shape == (1, size, size)
+        assert ((image >= 0) & (image <= 1)).all()
+
+
+class TestMasks:
+    def test_soft_mask_high_on_ink(self):
+        patch = Tensor(np.zeros((1, 1, 4, 4), dtype=np.float32))
+        mask = soft_background_mask(patch)
+        assert (mask.data > 0.99).all()
+
+    def test_soft_mask_low_on_background(self):
+        patch = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32))
+        mask = soft_background_mask(patch)
+        assert (mask.data < 0.01).all()
+
+    def test_soft_mask_differentiable(self, rng):
+        patch = Tensor(rng.random((1, 1, 8, 8)).astype(np.float32),
+                       requires_grad=True)
+        soft_background_mask(patch).sum().backward()
+        assert patch.grad is not None
+        assert np.abs(patch.grad).sum() > 0
+
+    def test_hard_mask_threshold(self):
+        patch = np.asarray([[[0.1, 0.9]]], dtype=np.float32)
+        mask = hard_background_mask(patch)
+        np.testing.assert_allclose(mask, [[1.0, 0.0]])
+
+    def test_hard_mask_accepts_2d(self):
+        patch = np.asarray([[0.2, 0.8]], dtype=np.float32)
+        np.testing.assert_allclose(hard_background_mask(patch), [[1.0, 0.0]])
+
+    def test_hard_mask_rgb_uses_luminance(self):
+        patch = np.zeros((3, 1, 2), dtype=np.float32)
+        patch[:, 0, 1] = 1.0
+        np.testing.assert_allclose(hard_background_mask(patch), [[1.0, 0.0]])
+
+    def test_masks_agree_on_generated_shape(self, rng):
+        image = shape_image("star", 32, rng)
+        soft = soft_background_mask(Tensor(image[None])).data[0, 0]
+        hard = hard_background_mask(image)
+        agreement = ((soft > 0.5) == (hard > 0.5)).mean()
+        assert agreement > 0.98

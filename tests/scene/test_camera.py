@@ -1,0 +1,96 @@
+"""Pinhole camera geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scene import Camera
+
+
+@pytest.fixture
+def camera():
+    return Camera(image_size=96)
+
+
+class TestProjection:
+    def test_center_of_road_projects_to_center_column(self, camera):
+        v, u = camera.project_ground(10.0, 0.0)
+        assert u == pytest.approx(48.0)
+
+    def test_closer_points_lower_in_image(self, camera):
+        v_near, _ = camera.project_ground(4.0, 0.0)
+        v_far, _ = camera.project_ground(20.0, 0.0)
+        assert v_near > v_far
+
+    def test_far_points_approach_horizon(self, camera):
+        v, _ = camera.project_ground(1000.0, 0.0)
+        assert v == pytest.approx(camera.horizon_v, abs=0.5)
+
+    def test_right_offset_projects_right(self, camera):
+        _, u_left = camera.project_ground(8.0, -1.0)
+        _, u_right = camera.project_ground(8.0, 1.0)
+        assert u_right > camera.center_u > u_left
+
+    def test_behind_camera_raises(self, camera):
+        with pytest.raises(ValueError):
+            camera.project_ground(-1.0, 0.0)
+
+    @given(z=st.floats(min_value=2.0, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_apparent_size_inverse_in_distance(self, z):
+        camera = Camera(image_size=96)
+        near = camera.vertical_extent(z, 2.0)
+        far = camera.vertical_extent(2 * z, 2.0)
+        assert near == pytest.approx(2 * far, rel=1e-6)
+
+    def test_horizontal_extent_matches_vertical_at_same_distance(self, camera):
+        assert camera.horizontal_extent(7.0, 1.0) == pytest.approx(
+            camera.vertical_extent(7.0, 1.0)
+        )
+
+
+class TestGroundQuad:
+    def test_quad_order_and_foreshortening(self, camera):
+        quad = camera.ground_patch_quad(8.0, 0.0, 1.5)
+        # Near edge (rows 0, 1) lower in image than far edge (rows 2, 3).
+        assert quad[0, 0] > quad[2, 0]
+        # Near edge wider than far edge.
+        near_width = abs(quad[1, 1] - quad[0, 1])
+        far_width = abs(quad[2, 1] - quad[3, 1])
+        assert near_width > far_width
+
+    def test_elongated_quad_taller(self, camera):
+        square = camera.ground_patch_quad(8.0, 0.0, 1.5)
+        elongated = camera.ground_patch_quad(8.0, 0.0, 1.5, length_m=4.5)
+        height_sq = square[0, 0] - square[3, 0]
+        height_el = elongated[0, 0] - elongated[3, 0]
+        assert height_el > 2 * height_sq
+
+
+class TestRoll:
+    def test_zero_roll_is_identity(self, camera):
+        v0, u0 = camera.project_ground(8.0, 0.5)
+        v1, u1 = camera.with_roll(0.0).project_ground(8.0, 0.5)
+        assert (v0, u0) == (v1, u1)
+
+    def test_roll_moves_offcenter_points(self, camera):
+        rolled = camera.with_roll(10.0)
+        v0, u0 = camera.project_ground(8.0, 1.0)
+        v1, u1 = rolled.project_ground(8.0, 1.0)
+        assert (v0, u0) != (v1, u1)
+
+    def test_roll_preserves_distance_from_center(self, camera):
+        rolled = camera.with_roll(25.0)
+        center = camera.image_size / 2
+        v0, u0 = camera.project_ground(8.0, 1.0)
+        v1, u1 = rolled.project_ground(8.0, 1.0)
+        r0 = np.hypot(v0 - center, u0 - center)
+        r1 = np.hypot(v1 - center, u1 - center)
+        assert r0 == pytest.approx(r1, rel=1e-6)
+
+    def test_with_roll_preserves_other_attributes(self, camera):
+        rolled = camera.with_roll(5.0)
+        assert rolled.image_size == camera.image_size
+        assert rolled.height == camera.height
+        assert rolled.roll_degrees == 5.0

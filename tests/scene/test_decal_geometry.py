@@ -1,0 +1,69 @@
+"""Regression tests for decal projection geometry edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.patch import DECAL_ELONGATION, placement_offsets
+from repro.scene import AttackScenario, DeployedDecals, render_frame
+from repro.scene.trajectory import FramePose
+from repro.scene.video import _decal_placements
+
+
+@pytest.fixture
+def decals():
+    return DeployedDecals(
+        patch_rgb=np.zeros((3, 16, 16), dtype=np.float32),
+        alpha=np.ones((16, 16), dtype=np.float32),
+        world_size_m=2.0,  # elongated to 6 m along the road
+        offsets=placement_offsets(4),
+    )
+
+
+class TestNearEdgeGuard:
+    def test_decal_passing_under_camera_skipped(self, decals):
+        """A decal whose near edge is behind the camera must be skipped,
+        not crash the projection (regression: ValueError at z<0)."""
+        scenario = AttackScenario(image_size=96)
+        pose = FramePose(distance=3.0, lateral=0.0, roll_degrees=0.0,
+                         speed_kmh=15.0)
+        frame = render_frame(scenario, pose, np.random.default_rng(0),
+                             decals=decals)
+        assert frame.image.shape == (3, 96, 96)
+
+    def test_training_placements_guarded_too(self):
+        from repro.scene import Camera
+
+        camera = Camera(image_size=96)
+        pose = FramePose(distance=3.0, lateral=0.0, roll_degrees=0.0,
+                         speed_kmh=15.0)
+        placements = _decal_placements(camera, pose, placement_offsets(4), 2.0)
+        # Some decals survive (the far row), none crash.
+        assert all(p.size_px > 0 for p in placements)
+
+    def test_all_decals_visible_at_safe_distance(self, decals):
+        scenario = AttackScenario(image_size=96)
+        pose = FramePose(distance=10.0, lateral=0.0, roll_degrees=0.0,
+                         speed_kmh=15.0)
+        clean = render_frame(scenario, pose, np.random.default_rng(1))
+        attacked = render_frame(scenario, pose, np.random.default_rng(1),
+                                decals=decals)
+        changed = np.abs(clean.image - attacked.image).sum()
+        assert changed > 1.0  # decals visibly composited
+
+
+class TestElongation:
+    def test_projected_footprint_taller_with_elongation(self):
+        from repro.scene import Camera
+
+        camera = Camera(image_size=96)
+        pose = FramePose(distance=8.0, lateral=0.0, roll_degrees=0.0,
+                         speed_kmh=0.0)
+        placements = _decal_placements(camera, pose, placement_offsets(2), 1.5)
+        for placement in placements:
+            # With 3x elongation the apparent aspect is near-square rather
+            # than the ~5:1 sliver a square decal would project to.
+            ratio = placement.paste_height / placement.size_px
+            assert 0.2 < ratio < 2.0
+
+    def test_elongation_constant_exported(self):
+        assert DECAL_ELONGATION == pytest.approx(3.0)

@@ -1,0 +1,123 @@
+"""Physical degradation model and the synthetic dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.detection.config import CLASS_NAMES
+from repro.scene import (
+    CaptureModel,
+    DatasetConfig,
+    PrintModel,
+    build_dataset,
+    camera_degrade,
+    paper_split_sizes,
+    print_patch,
+)
+
+
+class TestPrintModel:
+    def test_monochrome_nearly_preserved(self, rng):
+        black_and_white = np.zeros((3, 8, 8), dtype=np.float32)
+        black_and_white[:, :, 4:] = 1.0
+        printed = print_patch(black_and_white, rng)
+        # Black stays dark, white stays bright, contrast mostly intact.
+        assert printed[:, :, :4].mean() < 0.15
+        assert printed[:, :, 4:].mean() > 0.75
+
+    def test_saturated_color_heavily_distorted(self, rng):
+        red = np.zeros((3, 8, 8), dtype=np.float32)
+        red[0] = 1.0
+        printed = print_patch(red, rng)
+        error_red = np.abs(printed - red).mean()
+        gray = np.full((3, 8, 8), 0.5, dtype=np.float32)
+        error_gray = np.abs(print_patch(gray, rng) - gray).mean()
+        assert error_red > 2 * error_gray
+
+    def test_output_in_gamut(self, rng):
+        noise = rng.random((3, 16, 16)).astype(np.float32)
+        printed = print_patch(noise, rng)
+        model = PrintModel()
+        assert printed.min() >= model.gamut_low - 1e-5
+        assert printed.max() <= model.gamut_high + 1e-5
+
+    def test_grayscale_input_broadcast(self, rng):
+        gray = rng.random((1, 8, 8)).astype(np.float32)
+        assert print_patch(gray, rng).shape == (3, 8, 8)
+
+    def test_print_is_stochastic_across_prints(self):
+        patch = np.random.default_rng(0).random((3, 8, 8)).astype(np.float32)
+        a = print_patch(patch, np.random.default_rng(1))
+        b = print_patch(patch, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+
+class TestCaptureModel:
+    def test_output_valid_range(self, rng):
+        frame = rng.random((3, 48, 48)).astype(np.float32)
+        out = camera_degrade(frame, rng, speed_kmh=25.0)
+        assert out.shape == frame.shape
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_speed_increases_blur(self):
+        # A sharp edge loses more contrast at higher speeds.
+        frame = np.zeros((3, 48, 48), dtype=np.float32)
+        frame[:, 24:, :] = 1.0
+        model = CaptureModel(illumination_amplitude=0.0, shadow_probability=0.0,
+                             noise_sigma=0.0, defocus_sigma=0.0)
+
+        def edge_sharpness(speed):
+            out = camera_degrade(frame, np.random.default_rng(0),
+                                 speed_kmh=speed, model=model)
+            return np.abs(np.diff(out[0, :, 24])).max()
+
+        assert edge_sharpness(35.0) < edge_sharpness(0.0)
+
+    def test_input_not_mutated(self, rng):
+        frame = rng.random((3, 32, 32)).astype(np.float32)
+        original = frame.copy()
+        camera_degrade(frame, rng, speed_kmh=15.0)
+        np.testing.assert_allclose(frame, original)
+
+
+class TestDataset:
+    def test_paper_split_sizes(self):
+        assert paper_split_sizes() == (1000, 71)
+
+    def test_requested_count_returned(self):
+        samples = build_dataset(12, DatasetConfig(image_size=64, seed=3))
+        assert len(samples) == 12
+
+    def test_every_sample_labeled(self):
+        samples = build_dataset(10, DatasetConfig(image_size=64, seed=4))
+        for image, truth in samples:
+            assert image.shape == (3, 64, 64)
+            assert len(truth.labels) >= 1
+            assert ((image >= 0) & (image <= 1)).all()
+
+    def test_class_balance_covers_all_classes(self):
+        samples = build_dataset(25, DatasetConfig(image_size=64, seed=5))
+        seen = set()
+        for _, truth in samples:
+            seen.update(int(l) for l in truth.labels)
+        assert seen == set(range(len(CLASS_NAMES)))
+
+    def test_deterministic_given_seed(self):
+        a = build_dataset(3, DatasetConfig(image_size=64, seed=9))
+        b = build_dataset(3, DatasetConfig(image_size=64, seed=9))
+        for (img_a, t_a), (img_b, t_b) in zip(a, b):
+            np.testing.assert_allclose(img_a, img_b)
+            np.testing.assert_allclose(t_a.boxes_xywh, t_b.boxes_xywh)
+
+    def test_different_seeds_differ(self):
+        a = build_dataset(3, DatasetConfig(image_size=64, seed=1))
+        b = build_dataset(3, DatasetConfig(image_size=64, seed=2))
+        assert any(
+            not np.allclose(img_a, img_b) for (img_a, _), (img_b, _) in zip(a, b)
+        )
+
+    def test_boxes_inside_image(self):
+        samples = build_dataset(10, DatasetConfig(image_size=64, seed=6))
+        for _, truth in samples:
+            for cx, cy, w, h in truth.boxes_xywh:
+                assert 0 <= cx <= 64 and 0 <= cy <= 64
+                assert w > 0 and h > 0

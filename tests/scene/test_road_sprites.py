@@ -1,0 +1,135 @@
+"""Scene rendering: sprites, scenes, ground truth, rotation."""
+
+import numpy as np
+import pytest
+
+from repro.detection.config import CLASS_NAMES
+from repro.scene import (
+    OBJECT_SIZES,
+    Camera,
+    RoadScene,
+    SceneObject,
+    SceneStyle,
+    render_scene,
+    render_sprite,
+    rotate_image,
+)
+from repro.scene.sprites import GROUND_CLASSES
+
+
+class TestSprites:
+    @pytest.mark.parametrize("name", CLASS_NAMES)
+    def test_every_class_renders(self, name, rng):
+        rgb, alpha = render_sprite(name, 24, 24, rng)
+        assert rgb.shape == (3, 24, 24)
+        assert alpha.shape == (24, 24)
+        assert alpha.max() == 1.0  # something drawn
+        assert ((rgb >= 0) & (rgb <= 1)).all()
+
+    def test_unknown_class_raises(self, rng):
+        with pytest.raises(KeyError):
+            render_sprite("tank", 24, 24, rng)
+
+    def test_tiny_sprite_clamped_not_crashing(self, rng):
+        rgb, alpha = render_sprite("car", 1, 1, rng)
+        assert rgb.shape[1] >= 3
+
+    def test_sprites_vary_with_rng(self):
+        a, _ = render_sprite("car", 24, 24, np.random.default_rng(1))
+        b, _ = render_sprite("car", 24, 24, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_sprites_deterministic_given_seed(self):
+        a, _ = render_sprite("person", 30, 20, np.random.default_rng(9))
+        b, _ = render_sprite("person", 30, 20, np.random.default_rng(9))
+        np.testing.assert_allclose(a, b)
+
+    def test_ground_classes_registered(self):
+        assert GROUND_CLASSES == {"word", "mark"}
+        assert set(OBJECT_SIZES) == set(CLASS_NAMES)
+
+
+class TestRenderScene:
+    def make_scene(self, *objects):
+        return RoadScene(objects=list(objects), style=SceneStyle())
+
+    def test_image_range_and_shape(self, rng):
+        camera = Camera(image_size=64)
+        scene = self.make_scene(SceneObject("car", z=8.0))
+        image, truth = render_scene(scene, camera, rng)
+        assert image.shape == (3, 64, 64)
+        assert ((image >= 0) & (image <= 1)).all()
+
+    def test_object_labeled_with_box(self, rng):
+        camera = Camera(image_size=96)
+        scene = self.make_scene(SceneObject("car", z=7.0))
+        _, truth = render_scene(scene, camera, rng)
+        assert list(truth.labels) == [CLASS_NAMES.index("car")]
+        cx, cy, w, h = truth.boxes_xywh[0]
+        assert 0 < cx < 96 and 0 < cy < 96
+        assert w > 3 and h > 3
+
+    def test_far_object_unlabeled(self, rng):
+        camera = Camera(image_size=64)
+        scene = self.make_scene(SceneObject("person", z=200.0))
+        _, truth = render_scene(scene, camera, rng)
+        assert len(truth.labels) == 0
+
+    def test_too_close_object_skipped(self, rng):
+        camera = Camera(image_size=64)
+        scene = self.make_scene(SceneObject("car", z=0.5))
+        _, truth = render_scene(scene, camera, rng)
+        assert len(truth.labels) == 0
+
+    def test_closer_object_bigger(self, rng):
+        camera = Camera(image_size=96)
+        _, near = render_scene(self.make_scene(SceneObject("car", z=5.0)), camera, rng)
+        _, far = render_scene(self.make_scene(SceneObject("car", z=12.0)), camera, rng)
+        assert near.boxes_xywh[0, 2] > far.boxes_xywh[0, 2]
+
+    def test_ground_object_foreshortened(self, rng):
+        camera = Camera(image_size=96)
+        _, truth = render_scene(self.make_scene(SceneObject("mark", z=7.0)), camera, rng)
+        cx, cy, w, h = truth.boxes_xywh[0]
+        # A 5 m long, 1.6 m wide arrow appears wider than tall at 7 m.
+        assert w > 0 and h > 0
+
+    def test_multiple_objects_all_labeled(self, rng):
+        camera = Camera(image_size=96)
+        scene = self.make_scene(
+            SceneObject("car", z=7.0, x=1.2),
+            SceneObject("person", z=6.0, x=-2.0),
+        )
+        _, truth = render_scene(scene, camera, rng)
+        assert len(truth.labels) == 2
+
+    def test_lateral_offset_moves_box(self, rng):
+        camera = Camera(image_size=96)
+        _, left = render_scene(self.make_scene(SceneObject("car", z=8.0, x=-1.5)), camera, rng)
+        _, right = render_scene(self.make_scene(SceneObject("car", z=8.0, x=1.5)), camera, rng)
+        assert left.boxes_xywh[0, 0] < right.boxes_xywh[0, 0]
+
+
+class TestRotation:
+    def test_rotate_image_preserves_shape_and_range(self, rng):
+        image = rng.random((3, 32, 32)).astype(np.float32)
+        out = rotate_image(image, 7.0)
+        assert out.shape == image.shape
+        assert ((out >= 0) & (out <= 1 + 1e-5)).all()
+
+    def test_rotate_zero_identity(self, rng):
+        image = rng.random((3, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(rotate_image(image, 0.0), image, atol=1e-5)
+
+    def test_rolled_scene_box_tracks_pixels(self, rng):
+        camera = Camera(image_size=96, roll_degrees=8.0)
+        scene = RoadScene(objects=[SceneObject("car", z=6.0, x=1.0)])
+        image, truth = render_scene(scene, camera, rng)
+        assert len(truth.labels) == 1
+        cx, cy, w, h = truth.boxes_xywh[0]
+        # The box region should contain the car's dark wheels / colored body:
+        # verify the region differs from plain asphalt.
+        x0, y0 = int(cx - w / 2), int(cy - h / 2)
+        x1, y1 = int(cx + w / 2), int(cy + h / 2)
+        region = image[:, max(y0, 0):y1, max(x0, 0):x1]
+        assert region.std() > 0.03

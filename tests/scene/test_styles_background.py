@@ -1,0 +1,70 @@
+"""Scene styles and background rendering properties."""
+
+import numpy as np
+import pytest
+
+from repro.scene import Camera, RoadScene, SceneStyle, render_scene
+
+
+class TestSceneStyle:
+    def test_sample_deterministic(self):
+        a = SceneStyle.sample(np.random.default_rng(5))
+        b = SceneStyle.sample(np.random.default_rng(5))
+        assert a.asphalt_shade == b.asphalt_shade
+        assert a.lane_half_width == b.lane_half_width
+
+    def test_sample_varies_across_seeds(self):
+        shades = {SceneStyle.sample(np.random.default_rng(s)).asphalt_shade
+                  for s in range(8)}
+        assert len(shades) > 4
+
+    def test_sampled_values_in_range(self):
+        for seed in range(10):
+            style = SceneStyle.sample(np.random.default_rng(seed))
+            assert 0.2 < style.asphalt_shade < 0.5
+            assert 1.5 < style.lane_half_width < 2.3
+            assert 0.7 < style.illumination < 1.2
+
+
+class TestBackground:
+    @pytest.fixture
+    def rendered(self, rng):
+        camera = Camera(image_size=96)
+        image, _ = render_scene(RoadScene(), camera, rng)
+        return camera, image
+
+    def test_sky_above_horizon_is_blueish(self, rendered):
+        camera, image = rendered
+        horizon = int(camera.horizon_v)
+        sky = image[:, : horizon - 2, :]
+        # Blue channel dominates red in the sky gradient.
+        assert sky[2].mean() > sky[0].mean()
+
+    def test_road_below_horizon_is_gray(self, rendered):
+        camera, image = rendered
+        horizon = int(camera.horizon_v)
+        # Central road region: channels nearly equal (gray asphalt).
+        road = image[:, horizon + 5:, 30:66]
+        channel_spread = road.mean(axis=(1, 2)).max() - road.mean(axis=(1, 2)).min()
+        assert channel_spread < 0.1
+
+    def test_lane_lines_brighter_than_asphalt(self, rendered):
+        camera, image = rendered
+        horizon = int(camera.horizon_v)
+        row = horizon + (96 - horizon) // 2
+        line_brightness = image[:, row, :].mean(axis=0).max()
+        center_brightness = image[:, row, 44:52].mean()
+        assert line_brightness > center_brightness
+
+    def test_style_changes_brightness(self, rng):
+        camera = Camera(image_size=64)
+        dark, _ = render_scene(
+            RoadScene(style=SceneStyle(asphalt_shade=0.26, illumination=0.85)),
+            camera, np.random.default_rng(1),
+        )
+        bright, _ = render_scene(
+            RoadScene(style=SceneStyle(asphalt_shade=0.4, illumination=1.1)),
+            camera, np.random.default_rng(1),
+        )
+        horizon = int(camera.horizon_v)
+        assert bright[:, horizon:, :].mean() > dark[:, horizon:, :].mean()

@@ -1,0 +1,153 @@
+"""Trajectories, video rendering and training-frame sampling."""
+
+import numpy as np
+import pytest
+
+from repro.scene import (
+    CHALLENGES,
+    SPEED_KMH,
+    AttackScenario,
+    DeployedDecals,
+    angle_trajectory,
+    challenge_trajectory,
+    render_frame,
+    render_run,
+    rotation_trajectory,
+    speed_trajectory,
+)
+from repro.scene.video import sample_training_frames
+from repro.patch import placement_offsets
+
+
+@pytest.fixture
+def scenario():
+    return AttackScenario(image_size=96)
+
+
+class TestTrajectories:
+    def test_speed_settings_match_paper(self):
+        assert SPEED_KMH == {"slow": 15.0, "normal": 25.0, "fast": 35.0}
+
+    def test_faster_speed_fewer_frames(self):
+        slow = speed_trajectory("slow")
+        normal = speed_trajectory("normal")
+        fast = speed_trajectory("fast")
+        assert len(slow) > len(normal) > len(fast)
+
+    def test_speed_distances_decrease(self):
+        poses = speed_trajectory("normal")
+        distances = [p.distance for p in poses]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_rotation_fix_has_no_roll(self):
+        assert all(p.roll_degrees == 0 for p in rotation_trajectory("fix"))
+
+    def test_rotation_slight_shakes(self):
+        rolls = [p.roll_degrees for p in rotation_trajectory("slight")]
+        assert max(abs(r) for r in rolls) > 2.0
+
+    def test_angle_sign_controls_side(self):
+        left = angle_trajectory("-15")
+        right = angle_trajectory("+15")
+        assert left[0].lateral < 0 < right[0].lateral
+
+    def test_angle_zero_centered(self):
+        assert all(p.lateral == 0 for p in angle_trajectory("0"))
+
+    def test_unknown_settings_raise(self):
+        with pytest.raises(KeyError):
+            speed_trajectory("ludicrous")
+        with pytest.raises(KeyError):
+            rotation_trajectory("wild")
+        with pytest.raises(KeyError):
+            challenge_trajectory("speed/ludicrous")
+
+    def test_all_eight_challenges_build(self):
+        assert len(CHALLENGES) == 8
+        for name in CHALLENGES:
+            assert len(challenge_trajectory(name)) > 0
+
+
+class TestRenderFrame:
+    def test_frame_has_target_box(self, scenario, rng):
+        poses = challenge_trajectory("rotation/fix")
+        frame = render_frame(scenario, poses[0], rng)
+        assert frame.image.shape == (3, 96, 96)
+        assert frame.target_box_xywh is not None
+
+    def test_decals_change_pixels(self, scenario, rng):
+        poses = challenge_trajectory("rotation/fix")
+        decals = DeployedDecals(
+            patch_rgb=np.zeros((3, 16, 16), dtype=np.float32),
+            alpha=np.ones((16, 16), dtype=np.float32),
+            world_size_m=1.5,
+            offsets=placement_offsets(4),
+        )
+        clean = render_frame(scenario, poses[0], np.random.default_rng(3))
+        patched = render_frame(scenario, poses[0], np.random.default_rng(3),
+                               decals=decals)
+        assert not np.allclose(clean.image, patched.image)
+
+    def test_physical_adds_noise(self, scenario):
+        poses = challenge_trajectory("speed/fast")
+        clean = render_frame(scenario, poses[0], np.random.default_rng(3))
+        degraded = render_frame(scenario, poses[0], np.random.default_rng(3),
+                                physical=True)
+        assert not np.allclose(clean.image, degraded.image)
+        assert ((degraded.image >= 0) & (degraded.image <= 1)).all()
+
+    def test_render_run_length_matches_poses(self, scenario, rng):
+        poses = challenge_trajectory("speed/fast")
+        frames = render_run(scenario, poses, rng)
+        assert len(frames) == len(poses)
+
+    def test_rolled_pose_rotates_frame(self, scenario):
+        from repro.scene.trajectory import FramePose
+
+        straight = render_frame(scenario, FramePose(7.0, 0.0, 0.0, 0.0),
+                                np.random.default_rng(1))
+        rolled = render_frame(scenario, FramePose(7.0, 0.0, 8.0, 0.0),
+                              np.random.default_rng(1))
+        assert not np.allclose(straight.image, rolled.image)
+
+
+class TestTrainingFrames:
+    def test_counts_and_metadata(self, scenario, rng):
+        frames = sample_training_frames(
+            scenario, rng, 6, placement_offsets(4), 1.5, consecutive=True
+        )
+        assert len(frames) == 6
+        for frame in frames:
+            assert frame.target_box_xywh is not None
+            assert len(frame.placements) == 4
+            for placement in frame.placements:
+                assert placement.size_px > 0
+                assert placement.paste_height > 0
+
+    def test_consecutive_runs_decrease_distance(self, scenario, rng):
+        frames = sample_training_frames(
+            scenario, rng, 6, placement_offsets(2), 1.5,
+            consecutive=True, group=3,
+        )
+        for start in (0, 3):
+            run = frames[start:start + 3]
+            distances = [f.pose.distance for f in run]
+            assert distances == sorted(distances, reverse=True)
+
+    def test_foreshortened_placements(self, scenario, rng):
+        frames = sample_training_frames(
+            scenario, rng, 2, placement_offsets(2), 1.5, consecutive=False
+        )
+        for frame in frames:
+            for placement in frame.placements:
+                # Elongation 3x roughly compensates foreshortening; the
+                # apparent height should be within a sane band of the width.
+                assert placement.paste_height < 2.5 * placement.size_px
+
+    def test_nonconsecutive_mode_independent_frames(self, scenario):
+        frames = sample_training_frames(
+            scenario, np.random.default_rng(0), 6, placement_offsets(2), 1.5,
+            consecutive=False,
+        )
+        laterals = {round(f.pose.lateral, 4) for f in frames}
+        assert len(laterals) > 1  # independent samples vary laterally

@@ -1,0 +1,174 @@
+"""Utilities: RNG derivation, image I/O, drawing, logging, timers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Budget,
+    Stopwatch,
+    TrainLog,
+    ascii_preview,
+    circle_mask,
+    derive_seed,
+    draw_line,
+    fill_circle,
+    fill_polygon,
+    fill_rect,
+    from_uint8,
+    load_image,
+    make_rng,
+    polygon_mask,
+    regular_polygon_points,
+    save_image,
+    spawn_rngs,
+    star_points,
+    to_uint8,
+)
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_derive_seed_varies_with_labels(self):
+        seeds = {derive_seed(42, label) for label in ("a", "b", "c", "d")}
+        assert len(seeds) == 4
+
+    def test_derive_seed_varies_with_parent(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 3)
+        values = [rng.random() for rng in rngs]
+        assert len(set(values)) == 3
+
+    def test_make_rng_reproducible(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+
+class TestImageIO:
+    def test_uint8_roundtrip(self, rng):
+        image = rng.random((3, 8, 8)).astype(np.float32)
+        back = from_uint8(to_uint8(image))
+        np.testing.assert_allclose(back, image, atol=1 / 255)
+
+    def test_to_uint8_clips(self):
+        image = np.asarray([[[1.5]], [[-0.5]], [[0.5]]], dtype=np.float32)
+        pixels = to_uint8(image)
+        assert pixels[0, 0, 0] == 255
+        assert pixels[0, 0, 1] == 0
+
+    def test_ppm_roundtrip(self, tmp_path, rng):
+        image = rng.random((3, 10, 12)).astype(np.float32)
+        path = str(tmp_path / "image.ppm")
+        save_image(image, path)
+        back = load_image(path)
+        np.testing.assert_allclose(back, image, atol=1 / 255)
+
+    def test_pgm_roundtrip(self, tmp_path, rng):
+        image = rng.random((1, 6, 7)).astype(np.float32)
+        path = str(tmp_path / "image.pgm")
+        save_image(image, path)
+        back = load_image(path)
+        np.testing.assert_allclose(back, image, atol=1 / 255)
+
+    def test_bad_channel_count_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_image(np.zeros((2, 4, 4), dtype=np.float32),
+                       str(tmp_path / "x.ppm"))
+
+    def test_ascii_preview_dimensions(self, rng):
+        art = ascii_preview(rng.random((3, 32, 64)).astype(np.float32), width=32)
+        lines = art.splitlines()
+        assert len(lines[0]) == 32
+        assert len(lines) >= 1
+
+
+class TestDrawing:
+    def canvas(self):
+        return np.zeros((3, 20, 20), dtype=np.float32)
+
+    def test_fill_rect(self):
+        img = self.canvas()
+        fill_rect(img, 2, 3, 6, 8, (1.0, 0.5, 0.0))
+        assert img[0, 3, 4] == 1.0
+        assert img[1, 3, 4] == 0.5
+        assert img[0, 0, 0] == 0.0
+
+    def test_fill_rect_clips_to_canvas(self):
+        img = self.canvas()
+        fill_rect(img, -5, -5, 50, 50, 1.0)
+        assert (img == 1.0).all()
+
+    def test_fill_circle(self):
+        img = self.canvas()
+        fill_circle(img, 10, 10, 4, 1.0)
+        assert img[0, 10, 10] == 1.0
+        assert img[0, 0, 0] == 0.0
+
+    def test_circle_mask_area_reasonable(self):
+        mask = circle_mask((40, 40), 20, 20, 10)
+        area = mask.sum()
+        assert area == pytest.approx(np.pi * 100, rel=0.1)
+
+    def test_polygon_mask_square(self):
+        mask = polygon_mask((20, 20), [(5, 5), (5, 15), (15, 15), (15, 5)])
+        assert mask[10, 10]
+        assert not mask[2, 2]
+        assert mask.sum() == pytest.approx(100, rel=0.15)
+
+    def test_fill_polygon_triangle(self):
+        img = self.canvas()
+        fill_polygon(img, [(2, 10), (18, 2), (18, 18)], 1.0)
+        assert img[0, 15, 10] == 1.0
+
+    def test_draw_line_thickness(self):
+        img = self.canvas()
+        draw_line(img, 10, 2, 10, 18, 1.0, thickness=3.0)
+        assert img[0, 10, 10] == 1.0
+        assert img[0, 2, 10] == 0.0
+
+    def test_star_points_count(self):
+        points = star_points(10, 10, 8, 4, spikes=5)
+        assert len(points) == 10
+
+    def test_regular_polygon_points(self):
+        points = regular_polygon_points(10, 10, 5, 6)
+        assert len(points) == 6
+        radii = [np.hypot(y - 10, x - 10) for y, x in points]
+        np.testing.assert_allclose(radii, 5.0, rtol=1e-6)
+
+    def test_color_size_mismatch_raises(self):
+        img = self.canvas()
+        with pytest.raises(ValueError):
+            fill_rect(img, 0, 0, 5, 5, (1.0, 0.5))
+
+
+class TestLoggingTimers:
+    def test_trainlog_records_and_series(self):
+        log = TrainLog("test")
+        log.log(0, loss=1.0)
+        log.log(1, loss=0.5, extra=2.0)
+        assert log.series("loss") == [1.0, 0.5]
+        assert log.last("extra") == 2.0
+
+    def test_trainlog_last_default(self):
+        log = TrainLog("test")
+        assert np.isnan(log.last("missing"))
+
+    def test_stopwatch_monotonic(self):
+        watch = Stopwatch()
+        first = watch.lap()
+        second = watch.lap()
+        assert first >= 0 and second >= 0
+        assert watch.total() >= first
+
+    def test_budget_unlimited(self):
+        budget = Budget(None)
+        assert not budget.exhausted()
+        assert budget.remaining() == float("inf")
+
+    def test_budget_expires(self):
+        budget = Budget(0.0)
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
