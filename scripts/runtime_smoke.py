@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Crash-resume smoke test for the fault-tolerant runtime (DESIGN.md §7).
+
+The parent launches a child process that trains a few-step decal attack
+with per-step checkpointing, waits until at least one mid-run snapshot is
+on disk, then SIGKILLs the child — the harshest crash there is, no atexit,
+no signal handler. It then resumes the same run in-process from the
+snapshot and asserts the attack completes and cleans up its checkpoint.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/runtime_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+ATTACK_STEPS = 5
+KILL_AFTER_STEP = 2
+CHILD_TIMEOUT_S = 300.0
+
+
+def _build_run(checkpoint_path: str):
+    from repro.attack.config import AttackConfig
+    from repro.attack.trainer import train_patch_attack
+    from repro.detection.config import reduced_config
+    from repro.detection.model import TinyYolo
+    from repro.runtime import RuntimeConfig
+    from repro.scene.video import AttackScenario
+    from repro.utils.logging import TrainLog
+
+    model = TinyYolo(reduced_config(input_size=64, width_multiplier=0.25), seed=0)
+    scenario = AttackScenario(image_size=64)
+    config = AttackConfig(steps=ATTACK_STEPS, warmup_steps=2, batch_frames=6,
+                          frame_pool=6, gan_batch=4, k=20)
+    runtime = RuntimeConfig(checkpoint_path=checkpoint_path, checkpoint_interval=1)
+    log = TrainLog("smoke")
+    return lambda: train_patch_attack(model, scenario, config, log=log,
+                                      runtime=runtime), log
+
+
+def child_main(checkpoint_path: str) -> int:
+    run, _ = _build_run(checkpoint_path)
+    run()
+    return 0
+
+
+def parent_main(checkpoint_path: str) -> int:
+    from repro.runtime import CheckpointManager
+
+    child = subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__),
+         "--child", "--checkpoint", checkpoint_path],
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    manager = CheckpointManager(checkpoint_path, interval=1)
+    deadline = time.monotonic() + CHILD_TIMEOUT_S
+    killed = False
+    try:
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                print("FAIL: child finished before it could be killed "
+                      f"(exit {child.returncode})")
+                return 1
+            snapshot = manager.load()
+            if snapshot is not None and snapshot.step >= KILL_AFTER_STEP:
+                child.send_signal(signal.SIGKILL)
+                child.wait()
+                killed = True
+                print(f"killed child mid-run at snapshot step {snapshot.step}")
+                break
+            time.sleep(0.2)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+    if not killed:
+        print("FAIL: no mid-run snapshot appeared before the timeout")
+        return 1
+
+    run, log = _build_run(checkpoint_path)
+    result = run()
+    restores = log.events_of("checkpoint_restore")
+    assert restores, "resume did not restore from the on-disk snapshot"
+    assert restores[0]["step"] >= KILL_AFTER_STEP
+    assert np.isfinite(result.patch).all(), "resumed patch is not finite"
+    assert not os.path.exists(checkpoint_path), \
+        "checkpoint not cleaned up after successful resume"
+    print(f"resumed from step {restores[0]['step']}, "
+          f"completed {ATTACK_STEPS}-step attack, checkpoint cleaned up")
+    print("PASS")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--checkpoint", default=None,
+                        help="checkpoint path (defaults to a temp file)")
+    args = parser.parse_args()
+
+    if args.child:
+        return child_main(args.checkpoint)
+
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None:
+        fd, checkpoint_path = tempfile.mkstemp(suffix=".ckpt.npz")
+        os.close(fd)
+        os.unlink(checkpoint_path)
+    try:
+        return parent_main(checkpoint_path)
+    finally:
+        if os.path.exists(checkpoint_path):
+            os.unlink(checkpoint_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

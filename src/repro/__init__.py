@@ -12,6 +12,10 @@ built entirely on a from-scratch numpy deep-learning stack:
 * :mod:`repro.scene` — synthetic road world, trajectories, physical model;
 * :mod:`repro.attack` — the paper's attack (Eq. 1) and the Sava baseline;
 * :mod:`repro.eval` — PWC/CWC metrics and the challenge protocol;
+* :mod:`repro.av` — confirmation tracker and rule planner (the AV stack
+  behind the paper's CWC argument);
+* :mod:`repro.runtime` — fault-tolerant runtime: checkpoint/resume,
+  divergence recovery, sensor-fault injection (DESIGN.md §7);
 * :mod:`repro.experiments` — turnkey experiment harness used by the
   benchmarks that regenerate every table and figure.
 

@@ -3,6 +3,12 @@
 Attacks are the expensive step of the pipeline; benchmarks cache results on
 disk keyed by :meth:`AttackConfig.cache_key` so re-running a table only
 re-trains what changed.
+
+Artifacts write through :func:`repro.nn.serialization.save_state`:
+atomically (tmp + ``os.replace``) and with an embedded SHA-256 digest, so
+a partially written or bit-rotted ``.npz`` raises
+:class:`~repro.nn.serialization.CheckpointError` at load time instead of
+silently poisoning the :class:`~repro.experiments.Workbench` cache.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn.serialization import CheckpointError, load_state, save_state
 from ..utils.logging import TrainLog
 from .baseline_sava import SavaBaselineResult
 from .config import AttackConfig
@@ -41,43 +48,48 @@ def cached_path(directory: str, config: AttackConfig, kind: str = "attack") -> s
     return os.path.join(directory, f"{kind}_{config.cache_key()}.npz")
 
 
+def _require(archive: dict, key: str, path: str) -> np.ndarray:
+    try:
+        return archive[key]
+    except KeyError as err:
+        raise CheckpointError(f"artifact {path!r} is missing entry {key!r}") from err
+
+
 def save_attack(result: AttackResult, path: str) -> None:
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez(
-        path,
-        patch=result.patch,
-        alpha=result.alpha,
-        world_size_m=np.float64(result.world_size_m),
-        config_json=np.str_(_config_to_json(result.config)),
-    )
+    save_state(path, {
+        "patch": result.patch,
+        "alpha": result.alpha,
+        "world_size_m": np.float64(result.world_size_m),
+        "config_json": np.str_(_config_to_json(result.config)),
+    })
 
 
 def load_attack(path: str) -> AttackResult:
-    with np.load(path) as archive:
-        return AttackResult(
-            patch=archive["patch"],
-            alpha=archive["alpha"],
-            config=_config_from_json(str(archive["config_json"])),
-            history=TrainLog("attack(loaded)"),
-            world_size_m=float(archive["world_size_m"]),
-        )
-
-
-def save_baseline(result: SavaBaselineResult, path: str) -> None:
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez(
-        path,
-        patch_rgb=result.patch_rgb,
-        world_size_m=np.float64(result.world_size_m),
-        config_json=np.str_(_config_to_json(result.config)),
+    """Load a cached attack; raises :class:`CheckpointError` if corrupt."""
+    archive = load_state(path)
+    return AttackResult(
+        patch=_require(archive, "patch", path),
+        alpha=_require(archive, "alpha", path),
+        config=_config_from_json(str(_require(archive, "config_json", path))),
+        history=TrainLog("attack(loaded)"),
+        world_size_m=float(_require(archive, "world_size_m", path)),
     )
 
 
+def save_baseline(result: SavaBaselineResult, path: str) -> None:
+    save_state(path, {
+        "patch_rgb": result.patch_rgb,
+        "world_size_m": np.float64(result.world_size_m),
+        "config_json": np.str_(_config_to_json(result.config)),
+    })
+
+
 def load_baseline(path: str) -> SavaBaselineResult:
-    with np.load(path) as archive:
-        return SavaBaselineResult(
-            patch_rgb=archive["patch_rgb"],
-            config=_config_from_json(str(archive["config_json"])),
-            history=TrainLog("sava(loaded)"),
-            world_size_m=float(archive["world_size_m"]),
-        )
+    """Load a cached baseline; raises :class:`CheckpointError` if corrupt."""
+    archive = load_state(path)
+    return SavaBaselineResult(
+        patch_rgb=_require(archive, "patch_rgb", path),
+        config=_config_from_json(str(_require(archive, "config_json", path))),
+        history=TrainLog("sava(loaded)"),
+        world_size_m=float(_require(archive, "world_size_m", path)),
+    )

@@ -44,6 +44,14 @@ from ..patch.apply import apply_patches
 from ..patch.mask import hard_background_mask, soft_background_mask
 from ..patch.placement import patch_world_size, placement_offsets
 from ..patch.shapes import sample_batch
+from ..runtime import (
+    DivergenceGuard,
+    RuntimeConfig,
+    TrainingCheckpoint,
+    capture_rng,
+    restore_rng,
+    run_with_recovery,
+)
 from ..scene.physical import print_patch
 from ..scene.video import AttackScenario, DeployedDecals, TrainingFrame, sample_training_frames
 from ..utils.logging import TrainLog
@@ -217,15 +225,31 @@ def _batch_frames(
     config: AttackConfig,
     rng: np.random.Generator,
 ) -> List[TrainingFrame]:
-    """Draw a training batch — whole consecutive runs when configured."""
+    """Draw a training batch — whole consecutive runs when configured.
+
+    The draw is clamped to the pool: a pool with fewer runs (or frames)
+    than the configured batch yields a smaller batch instead of crashing
+    ``rng.choice`` with an impossible no-replacement request.
+    """
+    if not pool:
+        raise ValueError("training-frame pool is empty")
     if config.consecutive:
         runs = len(pool) // config.group
-        chosen = rng.choice(runs, size=config.batch_frames // config.group, replace=False)
+        if runs == 0:
+            raise ValueError(
+                f"pool of {len(pool)} frames holds no complete run of "
+                f"{config.group} consecutive frames"
+            )
+        chosen = rng.choice(
+            runs, size=min(config.batch_frames // config.group, runs), replace=False
+        )
         batch: List[TrainingFrame] = []
         for run in chosen:
             batch.extend(pool[run * config.group:(run + 1) * config.group])
         return batch
-    indices = rng.choice(len(pool), size=config.batch_frames, replace=False)
+    indices = rng.choice(
+        len(pool), size=min(config.batch_frames, len(pool)), replace=False
+    )
     return [pool[i] for i in indices]
 
 
@@ -234,12 +258,21 @@ def train_patch_attack(
     scenario: AttackScenario,
     config: Optional[AttackConfig] = None,
     log: Optional[TrainLog] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> AttackResult:
     """Train the paper's decal attack against a frozen detector.
 
     Returns the deployment-ready :class:`AttackResult`. The detector's
     parameters are not modified (white-box access means gradients flow
     *through* it, not *into* it).
+
+    ``runtime`` controls fault tolerance (DESIGN.md §7): with a
+    ``checkpoint_path`` the loop snapshots generator/discriminator/
+    optimizer/RNG state periodically and resumes bit-for-bit from the last
+    snapshot after a crash; with or without one, a non-finite loss or an
+    exploding gradient rolls the run back to the last good snapshot, cuts
+    the learning rate, reseeds the batch stream and retries (bounded),
+    instead of aborting with ``FloatingPointError``.
     """
     config = config or AttackConfig()
     log = log or TrainLog("attack")
@@ -263,7 +296,7 @@ def train_patch_attack(
         param.requires_grad = False
     try:
         return _train_with_frozen_detector(
-            model, scenario, config, log, rng, target_label
+            model, scenario, config, log, rng, target_label, runtime
         )
     finally:
         for param, state in zip(detector_params, frozen_state):
@@ -277,13 +310,21 @@ def _train_with_frozen_detector(
     log: TrainLog,
     rng: np.random.Generator,
     target_label: int,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> AttackResult:
+    runtime = runtime or RuntimeConfig()
+    manager = runtime.manager()
+    guard = DivergenceGuard(runtime.guard)
     generator = PatchGenerator(config.k, latent_dim=config.latent_dim,
                                seed=derive_seed(config.seed, "gen"))
     discriminator = PatchDiscriminator(config.k, seed=derive_seed(config.seed, "disc"))
 
+    # A persisted snapshot supersedes warm-up: it already contains the
+    # post-warm-up (and partially attacked) weights.
+    resumed = manager.load()
+
     # Phase 1: warm-up so G starts on the shape manifold.
-    if config.warmup_steps > 0:
+    if resumed is None and config.warmup_steps > 0:
         train_gan(
             generator,
             discriminator,
@@ -323,44 +364,116 @@ def _train_with_frozen_detector(
     # The deployment latent: the attack term always optimizes this patch.
     z_deploy = generator.sample_latent(1, np.random.default_rng(derive_seed(config.seed, "z")))
 
-    for step in range(config.steps):
-        # -- discriminator ------------------------------------------------
-        real = sample_batch(config.shape, config.k, config.gan_batch, rng)
-        z_noise = generator.sample_latent(config.gan_batch, rng)
-        fake = generator(Tensor(z_noise))
-        d_loss = discriminator_loss(
-            discriminator(Tensor(real)), discriminator(fake.detach())
+    # -- fault-tolerant step loop ------------------------------------------
+    def snapshot(step: int) -> TrainingCheckpoint:
+        state = {}
+        for prefix, source in (
+            ("gen.", generator.state_dict()),
+            ("disc.", discriminator.state_dict()),
+            ("gopt.", g_optimizer.state_dict()),
+            ("dopt.", d_optimizer.state_dict()),
+        ):
+            state.update({prefix + k: np.asarray(v).copy() for k, v in source.items()})
+        return TrainingCheckpoint(
+            step=step, state=state,
+            rngs={"batch": capture_rng(rng)},
+            scalars={"lr": g_optimizer.lr},
         )
-        d_optimizer.zero_grad()
-        d_loss.backward()
-        clip_grad_norm(discriminator.parameters(), config.grad_clip)
-        d_optimizer.step()
 
-        # -- generator: adversarial + α · attack ---------------------------
-        fake = generator(Tensor(z_noise))
-        adv = generator_adversarial_loss(discriminator(fake))
+    def restore(checkpoint: TrainingCheckpoint) -> None:
+        def part(prefix):
+            return {k[len(prefix):]: v for k, v in checkpoint.state.items()
+                    if k.startswith(prefix)}
 
-        patch = generator(Tensor(z_deploy))
-        frames = _batch_frames(pool, config, rng)
-        images, boxes = _composite_batch(
-            frames, patch, pipeline, rng,
-            capture_probability=config.capture_probability,
-        )
-        outputs = model(images)
-        attack = attack_loss(outputs, boxes, model, target_label,
-                             config.objectness_weight, targeted=config.targeted)
+        generator.load_state_dict(part("gen."))
+        discriminator.load_state_dict(part("disc."))
+        g_optimizer.load_state_dict(part("gopt."))
+        d_optimizer.load_state_dict(part("dopt."))
+        restore_rng(rng, checkpoint.rngs["batch"])
 
-        g_loss = adv + config.alpha * attack
-        if not np.isfinite(g_loss.data):
-            raise FloatingPointError(f"non-finite generator loss at step {step}")
-        g_optimizer.zero_grad()
-        g_loss.backward()
-        clip_grad_norm(generator.parameters(), config.grad_clip)
-        g_optimizer.step()
+    start_step = 0
+    if resumed is not None:
+        restore(resumed)
+        start_step = resumed.step
+        log.event(start_step, "checkpoint_restore", path=manager.path)
+    last_good: List[TrainingCheckpoint] = []  # single-slot rollback cell
 
-        if step % 10 == 0 or step == config.steps - 1:
-            log.log(step, d_loss=float(d_loss.data), adv=float(adv.data),
-                    attack=float(attack.data), g_loss=float(g_loss.data))
+    def run_steps(start: int) -> None:
+        for step in range(start, config.steps):
+            if manager.due(step) or not last_good:
+                checkpoint = snapshot(step)
+                last_good[:] = [checkpoint]
+                manager.save(checkpoint)
+
+            # -- discriminator --------------------------------------------
+            real = sample_batch(config.shape, config.k, config.gan_batch, rng)
+            z_noise = generator.sample_latent(config.gan_batch, rng)
+            fake = generator(Tensor(z_noise))
+            d_loss = discriminator_loss(
+                discriminator(Tensor(real)), discriminator(fake.detach())
+            )
+            guard.check(step, d_loss=float(d_loss.data))
+            d_optimizer.zero_grad()
+            d_loss.backward()
+            d_grad_norm = clip_grad_norm(discriminator.parameters(), config.grad_clip)
+            guard.check(step, d_grad_norm=d_grad_norm)
+            d_optimizer.step()
+
+            # -- generator: adversarial + α · attack -----------------------
+            fake = generator(Tensor(z_noise))
+            adv = generator_adversarial_loss(discriminator(fake))
+
+            patch = generator(Tensor(z_deploy))
+            frames = _batch_frames(pool, config, rng)
+            images, boxes = _composite_batch(
+                frames, patch, pipeline, rng,
+                capture_probability=config.capture_probability,
+            )
+            outputs = model(images)
+            attack = attack_loss(outputs, boxes, model, target_label,
+                                 config.objectness_weight, targeted=config.targeted)
+
+            g_loss = adv + config.alpha * attack
+            guard.check(step, g_loss=float(g_loss.data))
+            g_optimizer.zero_grad()
+            g_loss.backward()
+            g_grad_norm = clip_grad_norm(generator.parameters(), config.grad_clip)
+            guard.check(step, g_grad_norm=g_grad_norm)
+            g_optimizer.step()
+
+            if step % 10 == 0 or step == config.steps - 1:
+                log.log(step, d_loss=float(d_loss.data), adv=float(adv.data),
+                        attack=float(attack.data), g_loss=float(g_loss.data),
+                        d_grad_norm=d_grad_norm, g_grad_norm=g_grad_norm,
+                        lr=g_optimizer.lr)
+
+    def on_divergence(attempt_index: int, err) -> None:
+        # Roll back, cut the learning rate, reseed the batch stream so the
+        # retry explores a different trajectory from the last good state.
+        checkpoint = last_good[0]
+        restore(checkpoint)
+        g_optimizer.lr = max(g_optimizer.lr * runtime.guard.lr_decay,
+                             runtime.guard.min_lr)
+        d_optimizer.lr = max(d_optimizer.lr * runtime.guard.lr_decay,
+                             runtime.guard.min_lr)
+        restore_rng(rng, capture_rng(np.random.default_rng(
+            derive_seed(config.seed, "attack-retry", attempt_index))))
+        # Re-snapshot so a crash after recovery resumes with the cut LR
+        # and the reseeded stream.
+        recovered = snapshot(checkpoint.step)
+        last_good[:] = [recovered]
+        manager.save(recovered)
+        log.event(err.step, "divergence_recovery", reason=err.reason,
+                  attempt=attempt_index, lr=g_optimizer.lr,
+                  rollback_step=checkpoint.step)
+
+    run_with_recovery(
+        lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
+        runtime.retry_policy(),
+        on_divergence,
+    )
+    if not runtime.keep_checkpoint:
+        manager.delete()
 
     generator.eval()
     discriminator.eval()

@@ -39,12 +39,14 @@ class Track:
     consecutive_hits: int = 1
     missed_frames: int = 0
     confirmed: bool = False
+    coasting: bool = False
 
     def update(self, detection: Detection) -> None:
         """Consume a matched detection for the current frame."""
         self.box_xyxy = detection.box_xyxy
         self.score = detection.score
         self.missed_frames = 0
+        self.coasting = False
         if detection.class_id == self.class_id:
             self.consecutive_hits += 1
         else:
@@ -56,6 +58,17 @@ class Track:
     def mark_missed(self) -> None:
         self.missed_frames += 1
         self.consecutive_hits = 0
+        self.coasting = False
+
+    def coast(self) -> None:
+        """Ride through a sensor gap (dropped frame).
+
+        Unlike :meth:`mark_missed`, the frame carried no evidence either
+        way — the object was not *seen missing*, the sensor was blind — so
+        the consecutive-hit streak is preserved.
+        """
+        self.missed_frames += 1
+        self.coasting = True
 
 
 @dataclass(frozen=True)
@@ -80,15 +93,25 @@ class DetectionConfirmer:
         Minimum IoU for frame-to-frame association.
     max_missed:
         Frames a track may go undetected before it is dropped.
+    coast_frames:
+        Consecutive sensor-gap frames (dropped frames, signalled via
+        ``update(..., sensor_fault=True)``) a track may coast through:
+        its consecutive-hit streak is preserved and, if already
+        confirmed, it keeps being reported at its last-seen box. Gaps
+        longer than this behave like ordinary misses.
     """
 
     def __init__(self, confirm_frames: int = DEFAULT_CONFIRM_FRAMES,
-                 iou_threshold: float = 0.3, max_missed: int = 2):
+                 iou_threshold: float = 0.3, max_missed: int = 2,
+                 coast_frames: int = 2):
         if confirm_frames < 1:
             raise ValueError("confirm_frames must be >= 1")
+        if coast_frames < 0:
+            raise ValueError("coast_frames must be >= 0")
         self.confirm_frames = confirm_frames
         self.iou_threshold = iou_threshold
         self.max_missed = max_missed
+        self.coast_frames = coast_frames
         self.tracks: List[Track] = []
         self._next_id = 0
         self.frame_index = 0
@@ -99,9 +122,29 @@ class DetectionConfirmer:
         self.frame_index = 0
 
     # ------------------------------------------------------------------
-    def update(self, detections: Sequence[Detection]) -> List[ConfirmedObject]:
-        """Advance one frame; returns objects confirmed as of this frame."""
+    def update(self, detections: Optional[Sequence[Detection]],
+               sensor_fault: bool = False) -> List[ConfirmedObject]:
+        """Advance one frame; returns objects confirmed as of this frame.
+
+        ``sensor_fault=True`` (or ``detections=None``) marks a frame the
+        sensor never delivered: every track *coasts* — keeps its
+        consecutive-hit streak, ages its box — for up to ``coast_frames``
+        consecutive gaps, instead of being treated as seen-and-absent.
+        """
         self.frame_index += 1
+        if detections is None:
+            sensor_fault = True
+            detections = []
+        if sensor_fault:
+            for track in self.tracks:
+                if track.missed_frames < self.coast_frames:
+                    track.coast()
+                else:
+                    track.mark_missed()
+            self.tracks = [t for t in self.tracks
+                           if t.missed_frames <= max(self.max_missed,
+                                                     self.coast_frames)]
+            return self._confirmed_objects()
         unmatched = list(range(len(detections)))
 
         if self.tracks and detections:
@@ -145,12 +188,24 @@ class DetectionConfirmer:
             self._next_id += 1
 
         self.tracks = [t for t in self.tracks if t.missed_frames <= self.max_missed]
+        return self._confirmed_objects()
 
+    def _confirmed_objects(self) -> List[ConfirmedObject]:
+        """Confirmation events for the current frame.
+
+        A confirmed track is reported while freshly detected, and also
+        while *coasting* through a sensor gap — the planner keeps acting
+        on its last-seen box rather than forgetting a confirmed object
+        because one frame never arrived.
+        """
         confirmed: List[ConfirmedObject] = []
         for track in self.tracks:
             if track.consecutive_hits >= self.confirm_frames:
                 track.confirmed = True
-            if track.confirmed and track.missed_frames == 0:
+            visible = track.missed_frames == 0 or (
+                track.coasting and track.missed_frames <= self.coast_frames
+            )
+            if track.confirmed and visible:
                 confirmed.append(
                     ConfirmedObject(
                         track_id=track.track_id,

@@ -17,6 +17,7 @@ import numpy as np
 from ..detection.decode import Detection, detections_from_outputs
 from ..detection.model import TinyYolo
 from ..nn import Tensor, no_grad
+from ..runtime import FaultSchedule
 from .confirmation import ConfirmedObject, DetectionConfirmer
 from .planner import Action, PlannerDecision, RulePlanner
 
@@ -25,11 +26,17 @@ __all__ = ["FrameTrace", "AvPipeline"]
 
 @dataclass
 class FrameTrace:
-    """Everything the pipeline produced for one frame."""
+    """Everything the pipeline produced for one frame.
+
+    ``sensor_fault`` marks a frame that never reached the detector
+    (dropped by the camera feed); detections are then empty and the
+    confirmation layer coasted on its tracks.
+    """
 
     detections: List[Detection]
     confirmed: List[ConfirmedObject]
     decision: PlannerDecision
+    sensor_fault: bool = False
 
 
 class AvPipeline:
@@ -55,8 +62,14 @@ class AvPipeline:
     def reset(self) -> None:
         self.confirmer.reset()
 
-    def step(self, frame: np.ndarray) -> FrameTrace:
-        """Process one CHW frame."""
+    def step(self, frame: Optional[np.ndarray]) -> FrameTrace:
+        """Process one CHW frame; ``None`` is a dropped (never-arrived)
+        frame — the confirmation layer coasts instead of resetting."""
+        if frame is None:
+            confirmed = self.confirmer.update(None, sensor_fault=True)
+            decision = self.planner.decide(confirmed)
+            return FrameTrace(detections=[], confirmed=confirmed,
+                              decision=decision, sensor_fault=True)
         with no_grad():
             outputs = self.detector(Tensor(frame[None]))
         detections = detections_from_outputs(
@@ -67,10 +80,20 @@ class AvPipeline:
         return FrameTrace(detections=detections, confirmed=confirmed,
                           decision=decision)
 
-    def run(self, frames: Sequence[np.ndarray]) -> List[FrameTrace]:
-        """Process a whole video (resets state first)."""
+    def run(self, frames: Sequence[Optional[np.ndarray]],
+            faults: Optional[FaultSchedule] = None,
+            rng: Optional[np.random.Generator] = None) -> List[FrameTrace]:
+        """Process a whole video (resets state first).
+
+        ``faults`` degrades the stream first — dropped frames reach
+        :meth:`step` as ``None``, noisy/occluded frames as corrupted
+        images — measuring the stack's behaviour under imperfect sensing.
+        """
         self.reset()
-        return [self.step(frame) for frame in frames]
+        stream: Sequence[Optional[np.ndarray]] = list(frames)
+        if faults is not None:
+            stream = faults.degrade_stream(stream, rng)
+        return [self.step(frame) for frame in stream]
 
     # ------------------------------------------------------------------
     @staticmethod

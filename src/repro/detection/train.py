@@ -4,6 +4,13 @@ The paper fine-tunes a pre-trained YOLOv3-tiny on its 1000-image road
 dataset. Offline we train the (reduced-width) network from scratch on the
 synthetic road dataset — the substitution in DESIGN.md §2 — with the same
 loss and optimizer family.
+
+Fault tolerance (DESIGN.md §7): with a
+:class:`~repro.runtime.RuntimeConfig` carrying a ``checkpoint_path`` the
+loop snapshots model/optimizer/RNG state at epoch boundaries (the
+``checkpoint_interval`` counts epochs here) and resumes bit-for-bit after
+a kill. Divergence rolls back to the last epoch snapshot, cuts the
+learning rate and reshuffles, bounded by the guard's retry budget.
 """
 
 from __future__ import annotations
@@ -14,7 +21,16 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn import Adam, Tensor, clip_grad_norm
+from ..runtime import (
+    DivergenceGuard,
+    RuntimeConfig,
+    TrainingCheckpoint,
+    capture_rng,
+    restore_rng,
+    run_with_recovery,
+)
 from ..utils.logging import TrainLog
+from ..utils.rng import derive_seed
 from ..utils.timer import Budget
 from .augment import AugmentConfig, augment_sample
 from .loss import yolo_loss
@@ -64,6 +80,7 @@ def train_detector(
     samples: Sequence[Sample],
     config: Optional[DetectorTrainConfig] = None,
     log: Optional[TrainLog] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> TrainLog:
     """Train ``model`` in place on ``samples`` (CHW float images + truths).
 
@@ -72,44 +89,107 @@ def train_detector(
     """
     config = config or DetectorTrainConfig()
     log = log or TrainLog("detector")
+    runtime = runtime or RuntimeConfig()
     if not samples:
         raise ValueError("no training samples")
+    manager = runtime.manager()
+    guard = DivergenceGuard(runtime.guard)
     rng = np.random.default_rng(config.seed)
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     budget = Budget(config.time_budget_seconds)
     model.train()
 
-    step = 0
-    for epoch in range(config.epochs):
-        for images, truths in _batches(samples, config.batch_size, rng,
-                                       config.shuffle, config.augment):
-            outputs = model(Tensor(images))
-            result = yolo_loss(outputs, truths, model.config)
-            if not np.isfinite(result.total.data):
-                raise FloatingPointError(
-                    f"non-finite loss at step {step}; components: "
-                    f"xy={result.xy} wh={result.wh} obj={result.objectness} "
-                    f"cls={result.classification}"
-                )
-            optimizer.zero_grad()
-            result.total.backward()
-            clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            if step % config.log_every == 0:
-                log.log(
-                    step,
-                    loss=float(result.total.data),
-                    xy=result.xy,
-                    wh=result.wh,
-                    obj=result.objectness,
-                    cls=result.classification,
-                    epoch=epoch,
-                )
-            step += 1
-            if budget.exhausted():
-                log.log(step, loss=float(result.total.data), stopped_early=1.0)
-                model.eval()
-                return log
-    log.log(step, loss=log.last("loss"), done=1.0)
+    def snapshot(epoch: int, step: int) -> TrainingCheckpoint:
+        state = {"model." + k: np.asarray(v).copy()
+                 for k, v in model.state_dict().items()}
+        state.update({"opt." + k: np.asarray(v).copy()
+                      for k, v in optimizer.state_dict().items()})
+        return TrainingCheckpoint(
+            step=epoch, state=state,
+            rngs={"batch": capture_rng(rng)},
+            scalars={"lr": optimizer.lr, "global_step": float(step)},
+        )
+
+    def restore(checkpoint: TrainingCheckpoint) -> int:
+        model.load_state_dict({k[len("model."):]: v
+                               for k, v in checkpoint.state.items()
+                               if k.startswith("model.")})
+        optimizer.load_state_dict({k[len("opt."):]: v
+                                   for k, v in checkpoint.state.items()
+                                   if k.startswith("opt.")})
+        restore_rng(rng, checkpoint.rngs["batch"])
+        return int(checkpoint.scalars["global_step"])
+
+    start_epoch, start_step = 0, 0
+    resumed = manager.load()
+    if resumed is not None:
+        start_step = restore(resumed)
+        start_epoch = resumed.step
+        log.event(start_step, "checkpoint_restore", path=manager.path,
+                  epoch=start_epoch)
+    last_good: List[TrainingCheckpoint] = []
+
+    def run_epochs(first_epoch: int, first_step: int) -> None:
+        step = first_step
+        for epoch in range(first_epoch, config.epochs):
+            if manager.due(epoch) or not last_good:
+                checkpoint = snapshot(epoch, step)
+                last_good[:] = [checkpoint]
+                manager.save(checkpoint)
+            for images, truths in _batches(samples, config.batch_size, rng,
+                                           config.shuffle, config.augment):
+                outputs = model(Tensor(images))
+                result = yolo_loss(outputs, truths, model.config)
+                guard.check(step, loss=float(result.total.data))
+                optimizer.zero_grad()
+                result.total.backward()
+                grad_norm = clip_grad_norm(model.parameters(), config.grad_clip)
+                guard.check(step, grad_norm=grad_norm)
+                optimizer.step()
+                if step % config.log_every == 0:
+                    log.log(
+                        step,
+                        loss=float(result.total.data),
+                        xy=result.xy,
+                        wh=result.wh,
+                        obj=result.objectness,
+                        cls=result.classification,
+                        grad_norm=grad_norm,
+                        lr=optimizer.lr,
+                        epoch=epoch,
+                    )
+                step += 1
+                if budget.exhausted():
+                    log.log(step, loss=float(result.total.data), stopped_early=1.0)
+                    log.event(step, "early_stop", reason="time_budget",
+                              epoch=epoch)
+                    return
+        log.log(step, loss=log.last("loss"), done=1.0)
+
+    def on_divergence(attempt_index: int, err) -> None:
+        checkpoint = last_good[0]
+        restore(checkpoint)
+        optimizer.lr = max(optimizer.lr * runtime.guard.lr_decay,
+                           runtime.guard.min_lr)
+        restore_rng(rng, capture_rng(np.random.default_rng(
+            derive_seed(config.seed, "det-retry", attempt_index))))
+        recovered = snapshot(checkpoint.step,
+                             int(checkpoint.scalars["global_step"]))
+        last_good[:] = [recovered]
+        manager.save(recovered)
+        log.event(err.step, "divergence_recovery", reason=err.reason,
+                  attempt=attempt_index, lr=optimizer.lr,
+                  rollback_epoch=checkpoint.step)
+
+    def attempt(index: int) -> None:
+        if index == 0:
+            run_epochs(start_epoch, start_step)
+        else:
+            checkpoint = last_good[0]
+            run_epochs(checkpoint.step, int(checkpoint.scalars["global_step"]))
+
+    run_with_recovery(attempt, runtime.retry_policy(), on_divergence)
+    if not runtime.keep_checkpoint:
+        manager.delete()
     model.eval()
     return log

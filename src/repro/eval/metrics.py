@@ -37,10 +37,17 @@ CWC_RUN_LENGTH = 3
 
 @dataclass
 class FrameOutcome:
-    """Per-frame classification of the victim object."""
+    """Per-frame classification of the victim object.
+
+    ``coasted`` marks an outcome carried forward over a sensor gap
+    (dropped frame) rather than observed — the graceful-degradation path
+    of :func:`repro.eval.protocol.run_challenge` under a
+    :class:`~repro.runtime.FaultSchedule`.
+    """
 
     predicted_class: Optional[int]  # None = object not detected at all
     score: float = 0.0
+    coasted: bool = False
 
 
 def classify_frame(

@@ -6,12 +6,20 @@ degradation model — runs the detector on every frame, classifies the victim
 object per frame, and reports PWC and CWC. Every number is averaged over
 three seeded runs, as the paper does ("we conduct three runs and average
 the results"); CWC is reported as the majority outcome of the runs.
+
+A :class:`~repro.runtime.FaultSchedule` evaluates the same protocol under
+an imperfect frame stream (dropped / noisy / occluded frames). Dropped
+frames degrade gracefully: the per-frame outcome *coasts* — carries the
+last observed classification forward for up to ``max_coast`` consecutive
+gaps — mirroring how the hardened AV confirmation tracker
+(:mod:`repro.av.confirmation`) rides through sensor gaps instead of
+resetting its consecutive-frame count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
 import numpy as np
 
@@ -19,6 +27,7 @@ from ..detection.config import CLASS_NAMES
 from ..detection.decode import detections_from_outputs
 from ..detection.model import TinyYolo
 from ..nn import Tensor, no_grad
+from ..runtime import FaultSchedule
 from ..scene.trajectory import CHALLENGES, challenge_trajectory
 from ..scene.video import AttackScenario, DeployedDecals, render_run
 from ..utils.rng import derive_seed
@@ -41,8 +50,22 @@ SPEED_ANGLE_CHALLENGES = (
     "angle/-15", "angle/0", "angle/+15",
 )
 
-#: Anything with ``.deploy(physical, rng) -> DeployedDecals``.
-Deployable = object
+#: Frames an outcome may coast over consecutive dropped frames before the
+#: victim counts as missed (matches the confirmation tracker's tolerance).
+DEFAULT_MAX_COAST = 2
+
+
+@runtime_checkable
+class Deployable(Protocol):
+    """Anything that can materialize decals for scene rendering.
+
+    Satisfied structurally by :class:`~repro.attack.trainer.AttackResult`
+    and :class:`~repro.attack.baseline_sava.SavaBaselineResult`.
+    """
+
+    def deploy(self, physical: bool = False,
+               rng: Optional[np.random.Generator] = None) -> DeployedDecals:
+        ...
 
 
 @dataclass
@@ -70,10 +93,23 @@ def run_challenge(
     n_runs: int = 3,
     seed: int = 0,
     conf_threshold: float = 0.3,
+    faults: Optional[FaultSchedule] = None,
+    max_coast: int = DEFAULT_MAX_COAST,
 ) -> ChallengeResult:
-    """Evaluate one challenge, averaging PWC over ``n_runs`` seeded runs."""
+    """Evaluate one challenge, averaging PWC over ``n_runs`` seeded runs.
+
+    ``faults`` degrades the rendered frame stream before the detector sees
+    it; the schedule is re-seeded per run (derived from ``seed``) so
+    results stay reproducible and averaged over the same three runs as the
+    clean protocol.
+    """
     if challenge not in CHALLENGES:
         raise KeyError(f"unknown challenge {challenge!r}")
+    if artifact is not None and not isinstance(artifact, Deployable):
+        raise TypeError(
+            f"artifact {type(artifact).__name__!r} does not satisfy the "
+            f"Deployable protocol (needs .deploy(physical, rng))"
+        )
     target_label = CLASS_NAMES.index(target_class)
     poses = challenge_trajectory(challenge)
 
@@ -84,16 +120,40 @@ def run_challenge(
         if artifact is not None:
             decals = artifact.deploy(physical=physical, rng=rng)
         frames = render_run(scenario, poses, rng, decals=decals, physical=physical)
+
+        fault_events = None
+        fault_rng = None
+        if faults is not None:
+            fault_rng = np.random.default_rng(
+                derive_seed(seed, "faults", challenge, run_index))
+            fault_events = faults.sample(len(frames), fault_rng)
+
         outcomes: List[FrameOutcome] = []
+        last_seen: Optional[FrameOutcome] = None
+        coast_run = 0
         with no_grad():
-            for frame in frames:
-                outputs = model(Tensor(frame.image[None]))
+            for index, frame in enumerate(frames):
+                image = frame.image
+                if fault_events is not None:
+                    image = faults.apply(image, fault_events[index], fault_rng)
+                if image is None:
+                    # Dropped frame: coast on the last observation for a
+                    # bounded gap, then concede the victim as missed.
+                    if last_seen is not None and coast_run < max_coast:
+                        coast_run += 1
+                        outcomes.append(replace(last_seen, coasted=True))
+                    else:
+                        outcomes.append(FrameOutcome(predicted_class=None,
+                                                     coasted=True))
+                    continue
+                coast_run = 0
+                outputs = model(Tensor(image[None]))
                 detections = detections_from_outputs(
                     outputs, model.config, conf_threshold=conf_threshold
                 )[0]
-                outcomes.append(
-                    classify_frame(detections, frame.target_box_xywh)
-                )
+                outcome = classify_frame(detections, frame.target_box_xywh)
+                last_seen = outcome
+                outcomes.append(outcome)
         runs.append(score_video(outcomes, target_label))
 
     mean_pwc = float(np.mean([r.pwc for r in runs]))
@@ -110,13 +170,14 @@ def evaluate_challenges(
     physical: bool = False,
     n_runs: int = 3,
     seed: int = 0,
+    faults: Optional[FaultSchedule] = None,
 ) -> Dict[str, ChallengeResult]:
     """Run a set of challenges; returns challenge → result."""
     return {
         challenge: run_challenge(
             model, scenario, challenge, artifact=artifact,
             target_class=target_class, physical=physical,
-            n_runs=n_runs, seed=seed,
+            n_runs=n_runs, seed=seed, faults=faults,
         )
         for challenge in challenges
     }

@@ -18,8 +18,9 @@ Two profiles are provided (DESIGN.md §5):
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
@@ -36,7 +37,8 @@ from .attack.trainer import AttackResult, train_patch_attack
 from .detection.config import TinyYoloConfig, reduced_config
 from .detection.model import TinyYolo
 from .detection.train import DetectorTrainConfig, train_detector
-from .nn.serialization import load_module, save_module
+from .nn.serialization import CheckpointError, load_module, save_module
+from .runtime import FaultSchedule, RuntimeConfig
 from .scene.dataset import DatasetConfig, build_dataset
 from .scene.video import AttackScenario
 from .eval.protocol import (
@@ -49,6 +51,21 @@ from .utils.rng import derive_seed
 __all__ = ["WorkbenchProfile", "Workbench"]
 
 Artifact = Union[AttackResult, SavaBaselineResult]
+_T = TypeVar("_T")
+
+
+def _load_cached(path: str, loader: Callable[[str], _T]) -> Optional[_T]:
+    """Load a cached artifact, rejecting corrupt files.
+
+    A truncated or digest-mismatched artifact returns ``None`` (with a
+    warning) so the caller retrains and overwrites it — a poisoned cache
+    must never masquerade as a trained artifact.
+    """
+    try:
+        return loader(path)
+    except CheckpointError as err:
+        warnings.warn(f"discarding corrupt cached artifact: {err}")
+        return None
 
 
 @dataclass(frozen=True)
@@ -203,14 +220,27 @@ class Workbench:
         )
         return os.path.join(self.cache_dir, key)
 
+    def _runtime_for(self, artifact_path: str) -> RuntimeConfig:
+        """Resumable runtime policy whose checkpoint rides next to the
+        artifact it is building (deleted once the artifact lands)."""
+        return RuntimeConfig(checkpoint_path=artifact_path + ".ckpt.npz",
+                             checkpoint_interval=10)
+
     def detector(self, force_retrain: bool = False) -> TinyYolo:
-        """The fine-tuned victim detector (trained once, then cached)."""
+        """The fine-tuned victim detector (trained once, then cached).
+
+        A corrupt cached checkpoint (truncated write, digest mismatch) is
+        discarded and the detector retrained; training itself checkpoints
+        per-epoch so a killed fine-tune resumes instead of restarting.
+        """
         if self._detector is not None and not force_retrain:
             return self._detector
         model = TinyYolo(self.detector_config(), seed=derive_seed(self.seed, "det"))
         path = self._detector_cache_path()
+        loaded = None
         if not force_retrain and os.path.exists(path):
-            load_module(model, path)
+            loaded = _load_cached(path, lambda p: load_module(model, p))
+        if loaded is not None:
             model.eval()
         else:
             train_detector(
@@ -221,6 +251,8 @@ class Workbench:
                     batch_size=self.profile.detector_batch,
                     seed=derive_seed(self.seed, "det-train"),
                 ),
+                runtime=RuntimeConfig(checkpoint_path=path + ".ckpt.npz",
+                                      checkpoint_interval=1),
             )
             save_module(model, path)
         self._detector = model
@@ -246,13 +278,25 @@ class Workbench:
         return AttackConfig(**base)
 
     def train_attack(self, config: Optional[AttackConfig] = None,
-                     use_cache: bool = True) -> AttackResult:
-        """Train (or load) the paper's decal attack."""
+                     use_cache: bool = True,
+                     runtime: Optional[RuntimeConfig] = None) -> AttackResult:
+        """Train (or load) the paper's decal attack.
+
+        Corrupt cached artifacts are discarded and retrained. With
+        ``use_cache`` the run checkpoints alongside its artifact by
+        default, so a killed training resumes from the last snapshot;
+        pass an explicit ``runtime`` to override the policy.
+        """
         config = config or self.attack_config()
         path = cached_path(self.cache_dir, config, kind="attack")
         if use_cache and os.path.exists(path):
-            return load_attack(path)
-        result = train_patch_attack(self.detector(), self.scenario(), config)
+            cached = _load_cached(path, load_attack)
+            if cached is not None:
+                return cached
+        if runtime is None and use_cache:
+            runtime = self._runtime_for(path)
+        result = train_patch_attack(self.detector(), self.scenario(), config,
+                                    runtime=runtime)
         if use_cache:
             save_attack(result, path)
         return result
@@ -267,7 +311,9 @@ class Workbench:
         )
         path = cached_path(self.cache_dir, config, kind="sava")
         if use_cache and os.path.exists(path):
-            return load_baseline(path)
+            cached = _load_cached(path, load_baseline)
+            if cached is not None:
+                return cached
         result = train_sava_baseline(self.detector(), self.scenario(), config)
         if use_cache:
             save_baseline(result, path)
@@ -280,10 +326,12 @@ class Workbench:
         physical: bool = True,
         target_class: Optional[str] = None,
         n_runs: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> Dict[str, ChallengeResult]:
         """Run the challenge protocol; ``artifact=None`` gives the
         'w/o attack' rows of the paper's tables. The target class defaults
-        to the artifact's configured target."""
+        to the artifact's configured target. ``faults`` evaluates under a
+        degraded frame stream (dropped/noisy/occluded frames)."""
         if target_class is None:
             config = getattr(artifact, "config", None)
             target_class = config.target_class if config is not None else "word"
@@ -296,4 +344,5 @@ class Workbench:
             physical=physical,
             n_runs=n_runs or self.profile.eval_runs,
             seed=derive_seed(self.seed, "eval"),
+            faults=faults,
         )

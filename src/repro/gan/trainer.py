@@ -3,18 +3,34 @@
 Used in two places: as a standalone sanity harness ("can G learn a star at
 all?") and as the warm-up phase of the attack trainer, which continues from
 these weights with the attack term of Eq. 1 switched on.
+
+The loop is fault tolerant (DESIGN.md §7): pass a
+:class:`~repro.runtime.RuntimeConfig` with a ``checkpoint_path`` to get
+periodic atomic snapshots and bit-for-bit resume after a crash; divergence
+(non-finite loss, exploding gradients) triggers rollback to the last good
+snapshot with a learning-rate cut and a reseeded batch stream instead of
+an abort.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..nn import Adam, Tensor, clip_grad_norm
 from ..patch.shapes import sample_batch
+from ..runtime import (
+    DivergenceGuard,
+    RuntimeConfig,
+    TrainingCheckpoint,
+    capture_rng,
+    restore_rng,
+    run_with_recovery,
+)
 from ..utils.logging import TrainLog
+from ..utils.rng import derive_seed
 from .discriminator import PatchDiscriminator
 from .generator import PatchGenerator
 from .losses import discriminator_loss, generator_adversarial_loss
@@ -44,40 +60,114 @@ def train_gan(
     shape: str,
     config: Optional[GanTrainConfig] = None,
     log: Optional[TrainLog] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> TrainLog:
     """Adversarially train G/D on one shape class in place."""
     config = config or GanTrainConfig()
     log = log or TrainLog("gan")
+    runtime = runtime or RuntimeConfig()
+    manager = runtime.manager()
+    guard = DivergenceGuard(runtime.guard)
     rng = np.random.default_rng(config.seed)
     g_optimizer = Adam(generator.parameters(), lr=config.learning_rate)
     d_optimizer = Adam(discriminator.parameters(), lr=config.learning_rate)
     generator.train()
     discriminator.train()
 
-    for step in range(config.steps):
-        real = sample_batch(shape, generator.patch_size, config.batch_size, rng)
-        z = generator.sample_latent(config.batch_size, rng)
-
-        # Discriminator step (fakes detached).
-        fake = generator(Tensor(z))
-        d_loss = discriminator_loss(
-            discriminator(Tensor(real)), discriminator(fake.detach())
+    def snapshot(step: int) -> TrainingCheckpoint:
+        state = {}
+        for prefix, source in (
+            ("gen.", generator.state_dict()),
+            ("disc.", discriminator.state_dict()),
+            ("gopt.", g_optimizer.state_dict()),
+            ("dopt.", d_optimizer.state_dict()),
+        ):
+            state.update({prefix + k: np.asarray(v).copy() for k, v in source.items()})
+        return TrainingCheckpoint(
+            step=step, state=state,
+            rngs={"batch": capture_rng(rng)},
+            scalars={"lr": g_optimizer.lr},
         )
-        d_optimizer.zero_grad()
-        d_loss.backward()
-        clip_grad_norm(discriminator.parameters(), config.grad_clip)
-        d_optimizer.step()
 
-        # Generator step.
-        fake = generator(Tensor(z))
-        g_loss = generator_adversarial_loss(discriminator(fake))
-        g_optimizer.zero_grad()
-        g_loss.backward()
-        clip_grad_norm(generator.parameters(), config.grad_clip)
-        g_optimizer.step()
+    def restore(checkpoint: TrainingCheckpoint) -> None:
+        def part(prefix):
+            return {k[len(prefix):]: v for k, v in checkpoint.state.items()
+                    if k.startswith(prefix)}
 
-        if step % config.log_every == 0 or step == config.steps - 1:
-            log.log(step, d_loss=float(d_loss.data), g_loss=float(g_loss.data))
+        generator.load_state_dict(part("gen."))
+        discriminator.load_state_dict(part("disc."))
+        g_optimizer.load_state_dict(part("gopt."))
+        d_optimizer.load_state_dict(part("dopt."))
+        restore_rng(rng, checkpoint.rngs["batch"])
+
+    start_step = 0
+    resumed = manager.load()
+    if resumed is not None:
+        restore(resumed)
+        start_step = resumed.step
+        log.event(start_step, "checkpoint_restore", path=manager.path)
+    last_good: List[TrainingCheckpoint] = []
+
+    def run_steps(start: int) -> None:
+        for step in range(start, config.steps):
+            if manager.due(step) or not last_good:
+                checkpoint = snapshot(step)
+                last_good[:] = [checkpoint]
+                manager.save(checkpoint)
+
+            real = sample_batch(shape, generator.patch_size, config.batch_size, rng)
+            z = generator.sample_latent(config.batch_size, rng)
+
+            # Discriminator step (fakes detached).
+            fake = generator(Tensor(z))
+            d_loss = discriminator_loss(
+                discriminator(Tensor(real)), discriminator(fake.detach())
+            )
+            guard.check(step, d_loss=float(d_loss.data))
+            d_optimizer.zero_grad()
+            d_loss.backward()
+            d_grad_norm = clip_grad_norm(discriminator.parameters(), config.grad_clip)
+            guard.check(step, d_grad_norm=d_grad_norm)
+            d_optimizer.step()
+
+            # Generator step.
+            fake = generator(Tensor(z))
+            g_loss = generator_adversarial_loss(discriminator(fake))
+            guard.check(step, g_loss=float(g_loss.data))
+            g_optimizer.zero_grad()
+            g_loss.backward()
+            g_grad_norm = clip_grad_norm(generator.parameters(), config.grad_clip)
+            guard.check(step, g_grad_norm=g_grad_norm)
+            g_optimizer.step()
+
+            if step % config.log_every == 0 or step == config.steps - 1:
+                log.log(step, d_loss=float(d_loss.data), g_loss=float(g_loss.data),
+                        d_grad_norm=d_grad_norm, g_grad_norm=g_grad_norm,
+                        lr=g_optimizer.lr)
+
+    def on_divergence(attempt_index: int, err) -> None:
+        checkpoint = last_good[0]
+        restore(checkpoint)
+        g_optimizer.lr = max(g_optimizer.lr * runtime.guard.lr_decay,
+                             runtime.guard.min_lr)
+        d_optimizer.lr = max(d_optimizer.lr * runtime.guard.lr_decay,
+                             runtime.guard.min_lr)
+        restore_rng(rng, capture_rng(np.random.default_rng(
+            derive_seed(config.seed, "gan-retry", attempt_index))))
+        recovered = snapshot(checkpoint.step)
+        last_good[:] = [recovered]
+        manager.save(recovered)
+        log.event(err.step, "divergence_recovery", reason=err.reason,
+                  attempt=attempt_index, lr=g_optimizer.lr,
+                  rollback_step=checkpoint.step)
+
+    run_with_recovery(
+        lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
+        runtime.retry_policy(),
+        on_divergence,
+    )
+    if not runtime.keep_checkpoint:
+        manager.delete()
     generator.eval()
     discriminator.eval()
     return log

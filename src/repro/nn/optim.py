@@ -8,7 +8,7 @@ small-batch CPU training stable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -48,6 +48,19 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Mutable optimizer state (moments, step count, learning rate).
+
+        Flat dict of arrays so it can ride inside an npz training
+        checkpoint (:mod:`repro.runtime.checkpoint`); parameter *values*
+        are not included — they belong to the module's own state dict.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -78,6 +91,21 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {"lr": np.asarray(self.lr, dtype=np.float64)}
+        for i, velocity in enumerate(self._velocity):
+            if velocity is None:
+                velocity = np.zeros_like(self.parameters[i].data)
+            state[f"velocity.{i}"] = velocity
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.lr = float(state["lr"])
+        self._velocity = [
+            np.asarray(state[f"velocity.{i}"]).copy()
+            for i in range(len(self.parameters))
+        ]
 
 
 class Adam(Optimizer):
@@ -115,3 +143,21 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {
+            "lr": np.asarray(self.lr, dtype=np.float64),
+            "step": np.asarray(self._step, dtype=np.int64),
+        }
+        for i in range(len(self.parameters)):
+            state[f"m.{i}"] = self._m[i]
+            state[f"v.{i}"] = self._v[i]
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.lr = float(state["lr"])
+        self._step = int(state["step"])
+        self._m = [np.asarray(state[f"m.{i}"]).copy()
+                   for i in range(len(self.parameters))]
+        self._v = [np.asarray(state[f"v.{i}"]).copy()
+                   for i in range(len(self.parameters))]

@@ -1,35 +1,130 @@
-"""Checkpoint save/load for modules (npz-based).
+"""Checkpoint save/load for modules and raw state dicts (npz-based).
 
 The paper fine-tunes from ``darknet53.conv.74``; that binary format is not
 available offline, so checkpoints here use a plain ``.npz`` with one entry
 per parameter/buffer name (our substitution, see DESIGN.md §2).
+
+Robustness contract (DESIGN.md §7): every write is **atomic** — the archive
+is serialized to a temporary file in the destination directory and moved
+into place with :func:`os.replace`, so a crash mid-write can never leave a
+half-written checkpoint at the published path. Every archive embeds a
+SHA-256 digest over its arrays; :func:`load_state` recomputes and compares
+it, turning truncated or bit-rotted files into a :class:`CheckpointError`
+instead of silently-poisoned weights.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import TYPE_CHECKING
+import tempfile
+import zipfile
+from typing import TYPE_CHECKING, Dict, Mapping
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .layers import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = [
+    "CheckpointError",
+    "state_digest",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+]
+
+#: Reserved npz entry holding the integrity digest.
+DIGEST_KEY = "__digest__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, truncated, or fails integrity checks."""
+
+
+def state_digest(state: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over a state dict's keys, dtypes, shapes and raw bytes.
+
+    Computed canonically (keys sorted, arrays contiguous) so the digest of
+    a loaded checkpoint matches the digest of the state that was saved.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(state):
+        if key == DIGEST_KEY:
+            continue
+        array = np.ascontiguousarray(np.asarray(state[key]))
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def save_state(path: str, state: Mapping[str, np.ndarray]) -> str:
+    """Atomically serialize a state dict to ``path`` (npz). Returns digest.
+
+    The digest is embedded as the :data:`DIGEST_KEY` entry and verified by
+    :func:`load_state`.
+    """
+    if DIGEST_KEY in state:
+        raise ValueError(f"state may not contain the reserved key {DIGEST_KEY!r}")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    digest = state_digest(state)
+    payload = {key: np.asarray(value) for key, value in state.items()}
+    payload[DIGEST_KEY] = np.str_(digest)
+    fd, tmp_path = tempfile.mkstemp(prefix=".ckpt-", suffix=".npz", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        raise
+    return digest
+
+
+def load_state(path: str, verify: bool = True) -> Dict[str, np.ndarray]:
+    """Load and integrity-check a state dict written by :func:`save_state`.
+
+    Raises :class:`CheckpointError` when the file is missing, unreadable
+    (truncated zip, bad pickle, short read) or its embedded digest does not
+    match the recomputed one. Archives written before digests existed (no
+    :data:`DIGEST_KEY` entry) load without verification for compatibility.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint {path!r} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            state = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as err:
+        raise CheckpointError(f"checkpoint {path!r} is unreadable: {err}") from err
+    recorded = state.pop(DIGEST_KEY, None)
+    if verify and recorded is not None:
+        actual = state_digest(state)
+        if str(recorded) != actual:
+            raise CheckpointError(
+                f"checkpoint {path!r} failed integrity check: "
+                f"digest {actual[:12]}… != recorded {str(recorded)[:12]}…"
+            )
+    return state
 
 
 def save_module(module: "Module", path: str) -> None:
-    """Serialize a module's parameters and buffers to ``path`` (npz)."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    state = module.state_dict()
+    """Serialize a module's parameters and buffers to ``path`` (npz).
+
+    Atomic and digest-stamped; see module docstring.
+    """
     # npz keys cannot contain '/' reliably across loaders; ':' and '.' are fine.
-    np.savez(path, **state)
+    save_state(path, module.state_dict())
 
 
 def load_module(module: "Module", path: str) -> "Module":
-    """Load a checkpoint produced by :func:`save_module` into ``module``."""
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    """Load a checkpoint produced by :func:`save_module` into ``module``.
+
+    Raises :class:`CheckpointError` on corrupt or truncated files.
+    """
+    module.load_state_dict(load_state(path))
     return module

@@ -1,0 +1,84 @@
+"""`repro.runtime` — fault tolerance for long CPU experiment runs.
+
+The ROADMAP's production north star demands runs that survive crashes and
+numerical blow-ups. This package supplies the three legs (DESIGN.md §7):
+
+* :mod:`.checkpoint` — periodic, atomic, digest-verified snapshots of the
+  full mutable training state (modules, optimizers, RNG streams, step),
+  so every trainer resumes bit-for-bit after a kill;
+* :mod:`.guard` / :mod:`.retry` — divergence detection plus bounded
+  rollback-and-retry with learning-rate decay and batch-stream reseeding;
+* :mod:`.faults` — sensor-fault injection (dropped / noisy / occluded
+  frames) for evaluating PWC/CWC under degraded sensing.
+
+:class:`RuntimeConfig` is the single knob the trainers accept; the default
+(no checkpoint path) still enables in-memory divergence recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    TrainingCheckpoint,
+    capture_rng,
+    restore_rng,
+)
+from .faults import FAULT_KINDS, FaultEvent, FaultSchedule
+from .guard import DivergenceError, DivergenceGuard, GuardConfig
+from .retry import RetryPolicy, run_with_recovery
+
+__all__ = [
+    "RuntimeConfig",
+    "CheckpointError",
+    "CheckpointManager",
+    "TrainingCheckpoint",
+    "capture_rng",
+    "restore_rng",
+    "DivergenceError",
+    "DivergenceGuard",
+    "GuardConfig",
+    "RetryPolicy",
+    "run_with_recovery",
+    "FaultEvent",
+    "FaultSchedule",
+    "FAULT_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Fault-tolerance policy for one training run.
+
+    ``checkpoint_path=None`` keeps everything in memory: the run is not
+    resumable across processes, but divergence recovery still works off an
+    in-memory snapshot. ``keep_checkpoint`` leaves the file behind after a
+    successful run (default deletes it so a finished run never shadows a
+    fresh one).
+    """
+
+    checkpoint_path: Optional[str] = None
+    checkpoint_interval: int = 25
+    keep_checkpoint: bool = False
+    guard: GuardConfig = field(default_factory=GuardConfig)
+
+    def manager(self) -> CheckpointManager:
+        return CheckpointManager(self.checkpoint_path, self.checkpoint_interval)
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.guard.max_retries,
+            backoff_seconds=self.guard.backoff_seconds,
+            backoff_factor=self.guard.backoff_factor,
+        )
+
+    def with_checkpoint(self, path: str, interval: Optional[int] = None) -> "RuntimeConfig":
+        """A copy of this config persisting checkpoints at ``path``."""
+        return replace(
+            self,
+            checkpoint_path=path,
+            checkpoint_interval=interval or self.checkpoint_interval,
+        )

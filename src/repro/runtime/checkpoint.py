@@ -1,0 +1,150 @@
+"""Training checkpoints: periodic, atomic, resumable snapshots.
+
+A :class:`TrainingCheckpoint` captures *everything* a training loop needs
+to continue bit-for-bit after a crash: module parameters/buffers, optimizer
+moments, the exact bit-generator state of every RNG stream, the step
+counter, and any scalar knobs the divergence guard may have mutated (the
+current learning rate, the retry counter). Snapshots serialize through
+:func:`repro.nn.serialization.save_state`, inheriting its atomic-write and
+SHA-256 integrity guarantees, so a SIGKILL mid-save can never publish a
+half-written file and a truncated file is rejected at load time rather
+than silently resumed from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..nn.serialization import CheckpointError, load_state, save_state
+
+__all__ = [
+    "CheckpointError",
+    "TrainingCheckpoint",
+    "CheckpointManager",
+    "capture_rng",
+    "restore_rng",
+]
+
+_META_KEY = "meta_json"
+_STATE_PREFIX = "state:"
+
+
+def capture_rng(rng: np.random.Generator) -> Dict[str, Any]:
+    """Snapshot a generator's bit-generator state (JSON-serializable)."""
+    return rng.bit_generator.state
+
+
+def restore_rng(rng: np.random.Generator, state: Mapping[str, Any]) -> None:
+    """Rewind a generator to a state captured by :func:`capture_rng`."""
+    rng.bit_generator.state = dict(state)
+
+
+@dataclass
+class TrainingCheckpoint:
+    """One resumable snapshot of a training loop.
+
+    ``state`` holds every array the loop mutates, namespaced by the caller
+    (e.g. ``"gen.<param>"``, ``"gopt.m.0"``); ``rngs`` maps stream names to
+    bit-generator states; ``scalars`` carries step-adjacent knobs such as
+    the guard-adjusted learning rate or the divergence-retry count.
+    """
+
+    step: int
+    state: Dict[str, np.ndarray] = field(default_factory=dict)
+    rngs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    scalars: Dict[str, float] = field(default_factory=dict)
+
+    def copy(self) -> "TrainingCheckpoint":
+        """Deep-copy the snapshot (arrays included) for in-memory rollback."""
+        return TrainingCheckpoint(
+            step=self.step,
+            state={k: np.asarray(v).copy() for k, v in self.state.items()},
+            rngs=json.loads(json.dumps(self.rngs)),
+            scalars=dict(self.scalars),
+        )
+
+
+def _flatten(checkpoint: TrainingCheckpoint) -> Dict[str, np.ndarray]:
+    payload: Dict[str, np.ndarray] = {
+        _STATE_PREFIX + key: np.asarray(value)
+        for key, value in checkpoint.state.items()
+    }
+    meta = {
+        "step": checkpoint.step,
+        "rngs": checkpoint.rngs,
+        "scalars": checkpoint.scalars,
+    }
+    payload[_META_KEY] = np.str_(json.dumps(meta))
+    return payload
+
+
+def _unflatten(payload: Mapping[str, np.ndarray]) -> TrainingCheckpoint:
+    if _META_KEY not in payload:
+        raise CheckpointError("checkpoint has no metadata entry")
+    meta = json.loads(str(payload[_META_KEY]))
+    state = {
+        key[len(_STATE_PREFIX):]: np.asarray(value)
+        for key, value in payload.items()
+        if key.startswith(_STATE_PREFIX)
+    }
+    return TrainingCheckpoint(
+        step=int(meta["step"]),
+        state=state,
+        rngs={name: dict(s) for name, s in meta["rngs"].items()},
+        scalars={name: float(v) for name, v in meta["scalars"].items()},
+    )
+
+
+class CheckpointManager:
+    """Owns one checkpoint file: cadence, persistence, integrity.
+
+    Parameters
+    ----------
+    path:
+        Destination ``.npz`` path. ``None`` disables persistence (the
+        guard still keeps an in-memory rollback snapshot).
+    interval:
+        Save every this-many steps (step 0 is always saved so a rollback
+        point exists before the first update).
+    """
+
+    def __init__(self, path: Optional[str], interval: int = 25):
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.path = path
+        self.interval = interval
+        self.last_error: Optional[CheckpointError] = None
+
+    def due(self, step: int) -> bool:
+        """Whether ``step`` is a snapshot boundary."""
+        return step % self.interval == 0
+
+    def save(self, checkpoint: TrainingCheckpoint) -> None:
+        if self.path is None:
+            return
+        save_state(self.path, _flatten(checkpoint))
+
+    def load(self) -> Optional[TrainingCheckpoint]:
+        """The persisted snapshot, or ``None`` if absent/corrupt.
+
+        A corrupt file is *not* an error at resume time — the run simply
+        starts over — but the failure is kept in :attr:`last_error` so the
+        caller can log it.
+        """
+        if self.path is None or not os.path.exists(self.path):
+            return None
+        try:
+            return _unflatten(load_state(self.path))
+        except CheckpointError as err:
+            self.last_error = err
+            return None
+
+    def delete(self) -> None:
+        """Remove the checkpoint (called after a successful run)."""
+        if self.path is not None and os.path.exists(self.path):
+            os.remove(self.path)

@@ -1,0 +1,123 @@
+"""Sensor-fault injection for evaluation under imperfect frame streams.
+
+The paper's CWC argument rests on 3-consecutive-frame confirmation, which
+implicitly assumes a perfect camera feed. Real feeds drop frames, take
+noise bursts, and suffer transient occlusion (dirt, glare, a wiper pass) —
+the physical-robustness concern stressed by Jia et al. and Hoory et al.
+A :class:`FaultSchedule` describes such a degraded stream as independent
+per-frame fault draws, deterministic given a seed, so PWC/CWC under
+degraded sensing is exactly reproducible and comparable across attacks.
+
+Fault kinds:
+
+* ``drop`` — the frame never reaches the perception stack (``apply``
+  returns ``None``);
+* ``noise`` — an additive Gaussian noise burst (sensor gain glitch);
+* ``occlude`` — an opaque gray rectangle over part of the frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["FaultEvent", "FaultSchedule", "FAULT_KINDS"]
+
+FAULT_KINDS = ("drop", "noise", "occlude")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One frame's fault. ``magnitude`` scales kind-specific severity."""
+
+    kind: str
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Per-frame fault distribution over a video.
+
+    Probabilities are evaluated in priority order drop → noise → occlude
+    on a single uniform draw per frame, so their sum must stay ≤ 1 and the
+    marginal rates match the configured probabilities exactly.
+    """
+
+    drop_probability: float = 0.0
+    noise_probability: float = 0.0
+    noise_sigma: float = 0.15
+    occlusion_probability: float = 0.0
+    occlusion_fraction: float = 0.35
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = (self.drop_probability + self.noise_probability
+                 + self.occlusion_probability)
+        for name in ("drop_probability", "noise_probability", "occlusion_probability"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault probabilities sum to {total:.3f} > 1")
+        if not 0.0 < self.occlusion_fraction <= 1.0:
+            raise ValueError("occlusion_fraction must be in (0, 1]")
+
+    @staticmethod
+    def dropped_frames(probability: float, seed: int = 0) -> "FaultSchedule":
+        """A pure frame-drop schedule (the acceptance-criteria scenario)."""
+        return FaultSchedule(drop_probability=probability, seed=seed)
+
+    # ------------------------------------------------------------------
+    def sample(self, n_frames: int,
+               rng: Optional[np.random.Generator] = None) -> List[Optional[FaultEvent]]:
+        """Draw the fault (or ``None``) for each of ``n_frames`` frames."""
+        rng = rng or np.random.default_rng(self.seed)
+        events: List[Optional[FaultEvent]] = []
+        for _ in range(n_frames):
+            u = float(rng.random())
+            if u < self.drop_probability:
+                events.append(FaultEvent("drop"))
+            elif u < self.drop_probability + self.noise_probability:
+                events.append(FaultEvent("noise", magnitude=self.noise_sigma))
+            elif (u < self.drop_probability + self.noise_probability
+                  + self.occlusion_probability):
+                events.append(FaultEvent("occlude", magnitude=self.occlusion_fraction))
+            else:
+                events.append(None)
+        return events
+
+    def apply(self, image: np.ndarray, event: Optional[FaultEvent],
+              rng: Optional[np.random.Generator] = None) -> Optional[np.ndarray]:
+        """Degrade one CHW frame; ``None`` means the frame was dropped."""
+        if event is None:
+            return image
+        rng = rng or np.random.default_rng(self.seed)
+        if event.kind == "drop":
+            return None
+        if event.kind == "noise":
+            noise = rng.normal(0.0, event.magnitude, size=image.shape)
+            return np.clip(image + noise.astype(image.dtype), 0.0, 1.0)
+        # occlude: opaque gray rectangle covering `magnitude` of each side.
+        out = image.copy()
+        _, h, w = out.shape
+        box_h = max(1, int(round(h * event.magnitude)))
+        box_w = max(1, int(round(w * event.magnitude)))
+        top = int(rng.integers(0, max(h - box_h, 0) + 1))
+        left = int(rng.integers(0, max(w - box_w, 0) + 1))
+        out[:, top:top + box_h, left:left + box_w] = 0.5
+        return out
+
+    def degrade_stream(
+        self, frames: Sequence[np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Optional[np.ndarray]]:
+        """Apply a sampled schedule to a whole video (``None`` = dropped)."""
+        rng = rng or np.random.default_rng(self.seed)
+        events = self.sample(len(frames), rng)
+        return [self.apply(frame, event, rng)
+                for frame, event in zip(frames, events)]

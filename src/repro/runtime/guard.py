@@ -1,0 +1,85 @@
+"""Divergence detection for the CPU training loops.
+
+Small-batch CPU training of the GAN + attack objective occasionally blows
+up — a non-finite loss or an exploding gradient norm. The seed code turned
+that into an immediate :class:`FloatingPointError`, aborting hours of work.
+The guard instead *classifies* the blow-up and raises
+:class:`DivergenceError`, a signal the retry layer (:mod:`.retry`)
+catches to roll back to the last good checkpoint, cut the learning rate,
+and reseed the batch stream.
+
+:class:`DivergenceError` subclasses :class:`FloatingPointError` on
+purpose: once recovery attempts are exhausted the error that escapes is
+still a ``FloatingPointError``, so callers (and the failure-injection
+tests) that treat numerical blow-up as fatal keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["GuardConfig", "DivergenceError", "DivergenceGuard"]
+
+
+class DivergenceError(FloatingPointError):
+    """Training diverged: non-finite loss or exploding gradients."""
+
+    def __init__(self, step: int, reason: str):
+        super().__init__(f"divergence at step {step}: {reason}")
+        self.step = step
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Recovery policy for one training loop.
+
+    ``max_retries`` bounds rollback attempts per run; each recovery
+    multiplies the learning rate by ``lr_decay`` (floored at ``min_lr``)
+    and reseeds the batch stream. ``grad_norm_threshold`` trips the guard
+    on finite-but-exploding gradients; ``None`` disables that check
+    (non-finite values always trip it). ``backoff_seconds`` /
+    ``backoff_factor`` shape the inter-attempt sleep, kept at zero by
+    default so tests and laptop runs never stall.
+    """
+
+    max_retries: int = 3
+    lr_decay: float = 0.5
+    min_lr: float = 1e-7
+    grad_norm_threshold: Optional[float] = 1e4
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    checkpoint_interval: int = 25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+
+
+class DivergenceGuard:
+    """Checks step metrics and raises :class:`DivergenceError` on blow-up."""
+
+    def __init__(self, config: Optional[GuardConfig] = None):
+        self.config = config or GuardConfig()
+
+    def check(self, step: int, **metrics: float) -> None:
+        """Validate one step's scalar metrics.
+
+        Keys ending in ``_norm`` are additionally checked against
+        ``grad_norm_threshold``; every value is checked for finiteness.
+        """
+        threshold = self.config.grad_norm_threshold
+        for name, value in metrics.items():
+            value = float(value)
+            if not math.isfinite(value):
+                raise DivergenceError(step, f"non-finite {name} ({value})")
+            if threshold is not None and name.endswith("_norm") and value > threshold:
+                raise DivergenceError(
+                    step, f"exploding {name} ({value:.3g} > {threshold:.3g})"
+                )

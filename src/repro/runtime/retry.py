@@ -1,0 +1,64 @@
+"""Bounded retry-with-backoff around resumable training attempts.
+
+The training loops express one *attempt* as a callable; this module runs
+attempts until one succeeds, a non-divergence error escapes, or the
+attempt budget is exhausted — in which case the final
+:class:`~repro.runtime.guard.DivergenceError` propagates (it is a
+``FloatingPointError``, matching the seed code's failure mode).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from .guard import DivergenceError
+
+__all__ = ["RetryPolicy", "run_with_recovery"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many recovery attempts to make and how long to wait between."""
+
+    max_retries: int = 3
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based), exponential backoff."""
+        if self.backoff_seconds <= 0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+
+def run_with_recovery(
+    attempt: Callable[[int], T],
+    policy: Optional[RetryPolicy] = None,
+    on_divergence: Optional[Callable[[int, DivergenceError], None]] = None,
+) -> T:
+    """Run ``attempt(k)`` for k = 0, 1, … until it returns.
+
+    On :class:`DivergenceError`, calls ``on_divergence(next_attempt, err)``
+    (the hook performs rollback / LR decay / reseeding), sleeps the
+    policy's backoff, and retries. After ``max_retries`` failed recoveries
+    the last error is re-raised. Any other exception propagates
+    immediately — a crash is the checkpoint layer's job, not the guard's.
+    """
+    policy = policy or RetryPolicy()
+    attempt_index = 0
+    while True:
+        try:
+            return attempt(attempt_index)
+        except DivergenceError as err:
+            attempt_index += 1
+            if attempt_index > policy.max_retries:
+                raise
+            if on_divergence is not None:
+                on_divergence(attempt_index, err)
+            delay = policy.delay(attempt_index)
+            if delay > 0:
+                time.sleep(delay)

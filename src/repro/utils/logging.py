@@ -4,13 +4,18 @@ Avoids the stdlib ``logging`` global-config pitfalls in test environments:
 each component owns a :class:`TrainLog` that collects records and optionally
 echoes to stdout. Benchmarks read the collected history to report
 convergence behaviour.
+
+Besides per-step float metrics, a :class:`TrainLog` collects **events** —
+discrete structured occurrences such as divergence recoveries, checkpoint
+restores, or early stops — so post-mortem diagnosis of a run needs nothing
+but the log object (DESIGN.md §7).
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Dict, List, Optional, TextIO
+from typing import Any, Dict, List, Optional, TextIO
 
 __all__ = ["TrainLog"]
 
@@ -23,6 +28,7 @@ class TrainLog:
         self.echo = echo
         self.stream = stream or sys.stdout
         self.records: List[Dict[str, float]] = []
+        self.events: List[Dict[str, Any]] = []
         self._start = time.perf_counter()
 
     def log(self, step: int, **metrics: float) -> None:
@@ -32,6 +38,27 @@ class TrainLog:
         if self.echo:
             parts = " ".join(f"{k}={v:.4g}" for k, v in metrics.items())
             self.stream.write(f"[{self.name}] step {step}: {parts}\n")
+
+    def event(self, step: int, kind: str, **fields: Any) -> None:
+        """Record a discrete structured event (recovery, restore, stop…).
+
+        Unlike :meth:`log` records, event fields may be of any type —
+        reasons, paths, attempt counters — and are kept verbatim.
+        """
+        record: Dict[str, Any] = {
+            "step": int(step),
+            "kind": str(kind),
+            "elapsed": time.perf_counter() - self._start,
+        }
+        record.update(fields)
+        self.events.append(record)
+        if self.echo:
+            parts = " ".join(f"{k}={v!r}" for k, v in fields.items())
+            self.stream.write(f"[{self.name}] step {step} !{kind}: {parts}\n")
+
+    def events_of(self, kind: str) -> List[Dict[str, Any]]:
+        """All recorded events of one kind, in order."""
+        return [e for e in self.events if e["kind"] == kind]
 
     def last(self, key: str, default: float = float("nan")) -> float:
         for record in reversed(self.records):

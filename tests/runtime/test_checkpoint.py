@@ -1,0 +1,186 @@
+"""Atomic, digest-verified checkpoints (repro.runtime.checkpoint)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Linear, load_module, save_module
+from repro.nn.layers import Parameter
+from repro.nn.serialization import (
+    CheckpointError,
+    load_state,
+    save_state,
+    state_digest,
+)
+from repro.runtime import (
+    CheckpointManager,
+    TrainingCheckpoint,
+    capture_rng,
+    restore_rng,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+class TestStateSerialization:
+    def test_roundtrip_preserves_arrays(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        state = {"a": np.arange(12, dtype=np.float32).reshape(3, 4),
+                 "b": np.asarray(7, dtype=np.int64)}
+        save_state(path, state)
+        back = load_state(path)
+        np.testing.assert_array_equal(back["a"], state["a"])
+        assert int(back["b"]) == 7
+
+    def test_no_tmp_litter_after_save(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        save_state(path, {"a": np.zeros(3)})
+        assert sorted(os.listdir(tmp_path)) == ["state.npz"]
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        save_state(path, {"a": np.arange(4096, dtype=np.float64)})
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(CheckpointError):
+            load_state(path)
+
+    def test_bit_flip_fails_digest(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        save_state(path, {"a": np.zeros(64, dtype=np.uint8)})
+        data = bytearray(open(path, "rb").read())
+        # Flip a byte inside the stored (uncompressed) array payload.
+        marker = data.find(b"a.npy") + 200
+        data[marker] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(CheckpointError):
+            load_state(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_state(str(tmp_path / "nope.npz"))
+
+    def test_digest_is_content_addressed(self):
+        a = {"x": np.ones(4, dtype=np.float32)}
+        b = {"x": np.ones(4, dtype=np.float32)}
+        c = {"x": np.full(4, 2.0, dtype=np.float32)}
+        assert state_digest(a) == state_digest(b)
+        assert state_digest(a) != state_digest(c)
+
+    def test_module_roundtrip_with_digest(self, tmp_path):
+        path = str(tmp_path / "module.npz")
+        layer = Linear(4, 3, rng=np.random.default_rng(1))
+        save_module(layer, path)
+        other = Linear(4, 3, rng=np.random.default_rng(2))
+        load_module(other, path)
+        np.testing.assert_array_equal(other.weight.data, layer.weight.data)
+
+    def test_corrupt_module_checkpoint_rejected(self, tmp_path):
+        path = str(tmp_path / "module.npz")
+        save_module(Linear(8, 8, rng=np.random.default_rng(1)), path)
+        with open(path, "r+b") as handle:
+            handle.truncate(20)
+        with pytest.raises(CheckpointError):
+            load_module(Linear(8, 8, rng=np.random.default_rng(2)), path)
+
+
+class TestTrainingCheckpoint:
+    def _checkpoint(self):
+        rng = np.random.default_rng(9)
+        rng.random(5)  # advance so the state is mid-stream
+        return TrainingCheckpoint(
+            step=17,
+            state={"w": np.arange(6, dtype=np.float32)},
+            rngs={"batch": capture_rng(rng)},
+            scalars={"lr": 5e-4},
+        ), rng
+
+    def test_manager_roundtrip(self, tmp_path):
+        checkpoint, rng = self._checkpoint()
+        manager = CheckpointManager(str(tmp_path / "ck.npz"), interval=4)
+        manager.save(checkpoint)
+        back = manager.load()
+        assert back.step == 17
+        assert back.scalars["lr"] == pytest.approx(5e-4)
+        np.testing.assert_array_equal(back.state["w"], checkpoint.state["w"])
+        # The restored stream continues exactly where the captured one will.
+        fresh = np.random.default_rng(0)
+        restore_rng(fresh, back.rngs["batch"])
+        np.testing.assert_array_equal(fresh.random(8), rng.random(8))
+
+    def test_manager_corrupt_file_returns_none(self, tmp_path):
+        checkpoint, _ = self._checkpoint()
+        manager = CheckpointManager(str(tmp_path / "ck.npz"), interval=1)
+        manager.save(checkpoint)
+        with open(manager.path, "r+b") as handle:
+            handle.truncate(10)
+        assert manager.load() is None
+        assert isinstance(manager.last_error, CheckpointError)
+
+    def test_manager_cadence_and_delete(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ck.npz"), interval=5)
+        assert manager.due(0) and manager.due(10) and not manager.due(7)
+        checkpoint, _ = self._checkpoint()
+        manager.save(checkpoint)
+        manager.delete()
+        assert manager.load() is None
+
+    def test_disabled_manager_is_inert(self):
+        manager = CheckpointManager(None, interval=3)
+        checkpoint, _ = self._checkpoint()
+        manager.save(checkpoint)  # no-op
+        assert manager.load() is None
+
+    def test_copy_is_deep(self):
+        checkpoint, _ = self._checkpoint()
+        clone = checkpoint.copy()
+        clone.state["w"][0] = 99.0
+        assert checkpoint.state["w"][0] == 0.0
+
+
+class TestOptimizerState:
+    def _params(self, seed):
+        rng = np.random.default_rng(seed)
+        return [Parameter(rng.random((3, 2)).astype(np.float32)),
+                Parameter(rng.random(4).astype(np.float32))]
+
+    def _train_steps(self, optimizer, params, n):
+        rng = np.random.default_rng(0)
+        for _ in range(n):
+            for p in params:
+                p.grad = rng.random(p.data.shape).astype(np.float32)
+            optimizer.step()
+
+    @pytest.mark.parametrize("factory", [
+        lambda ps: Adam(ps, lr=1e-3),
+        lambda ps: SGD(ps, lr=1e-2, momentum=0.9),
+    ])
+    def test_resumed_optimizer_matches_uninterrupted(self, factory):
+        params_a = self._params(1)
+        opt_a = factory(params_a)
+        self._train_steps(opt_a, params_a, 6)
+
+        params_b = self._params(1)
+        opt_b = factory(params_b)
+        self._train_steps(opt_b, params_b, 3)
+        snapshot = {k: np.asarray(v).copy() for k, v in opt_b.state_dict().items()}
+        weights = [p.data.copy() for p in params_b]
+
+        params_c = self._params(2)  # different init, fully restored below
+        for p, w in zip(params_c, weights):
+            p.data = w.copy()
+        opt_c = factory(params_c)
+        opt_c.load_state_dict(snapshot)
+        # Replay the same last 3 gradient draws the uninterrupted run saw.
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            for p in params_c:
+                rng.random(p.data.shape)  # discard first-3-step draws
+        for _ in range(3):
+            for p in params_c:
+                p.grad = rng.random(p.data.shape).astype(np.float32)
+            opt_c.step()
+        for pa, pc in zip(params_a, params_c):
+            np.testing.assert_array_equal(pa.data, pc.data)

@@ -1,0 +1,130 @@
+"""Graceful degradation under sensor faults: confirmation coasting, the
+eval protocol under dropped frames, and the Deployable protocol check."""
+
+import numpy as np
+import pytest
+
+from repro.av import AvPipeline, DetectionConfirmer
+from repro.detection.config import reduced_config
+from repro.detection.decode import Detection
+from repro.detection.model import TinyYolo
+from repro.eval.protocol import Deployable, run_challenge
+from repro.runtime import FaultSchedule
+from repro.scene.video import AttackScenario
+
+pytestmark = pytest.mark.runtime
+
+
+def det(box, class_id, score=0.9):
+    return Detection(
+        box_xyxy=np.asarray(box, dtype=np.float32),
+        score=score,
+        class_id=class_id,
+        class_probs=np.zeros(5, dtype=np.float32),
+    )
+
+
+BOX = [20, 20, 40, 40]
+
+
+class TestConfirmerCoasting:
+    def test_gap_preserves_streak_instead_of_resetting(self):
+        confirmer = DetectionConfirmer(confirm_frames=3, coast_frames=2)
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([det(BOX, 2)])
+        # Sensor gap mid-streak: a dropped frame is not observed absence.
+        assert confirmer.update(None) == []
+        confirmed = confirmer.update([det(BOX, 2)])
+        assert len(confirmed) == 1  # third hit confirms — streak survived
+
+    def test_confirmed_object_stays_visible_through_gap(self):
+        confirmer = DetectionConfirmer(confirm_frames=3, coast_frames=2)
+        for _ in range(3):
+            confirmer.update([det(BOX, 2)])
+        during_gap = confirmer.update(None)
+        assert len(during_gap) == 1
+        np.testing.assert_array_equal(during_gap[0].box_xyxy,
+                                      np.asarray(BOX, dtype=np.float32))
+
+    def test_gap_longer_than_coast_budget_drops_object(self):
+        confirmer = DetectionConfirmer(confirm_frames=3, coast_frames=1)
+        for _ in range(3):
+            confirmer.update([det(BOX, 2)])
+        assert len(confirmer.update(None)) == 1   # first gap: coasts
+        assert confirmer.update(None) == []        # budget exhausted
+
+    def test_observed_absence_still_resets_streak(self):
+        confirmer = DetectionConfirmer(confirm_frames=3, coast_frames=2)
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([det(BOX, 2)])
+        confirmer.update([])  # seen and absent — not a sensor fault
+        assert confirmer.update([det(BOX, 2)]) == []
+
+    def test_coast_frames_validation(self):
+        with pytest.raises(ValueError):
+            DetectionConfirmer(coast_frames=-1)
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return TinyYolo(reduced_config(input_size=64, width_multiplier=0.25), seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return AttackScenario(image_size=64)
+
+
+class TestProtocolUnderFaults:
+    def test_run_challenge_completes_with_coasted_outcomes(
+            self, small_model, small_scenario):
+        faults = FaultSchedule.dropped_frames(0.2)
+        result = run_challenge(small_model, small_scenario, "angle/0",
+                               n_runs=1, seed=1, faults=faults)
+        outcomes = result.runs[0].outcomes
+        assert len(outcomes) > 0
+        assert any(o.coasted for o in outcomes)
+        assert 0.0 <= result.pwc <= 100.0
+
+    def test_fault_schedule_is_reproducible(self, small_model, small_scenario):
+        faults = FaultSchedule.dropped_frames(0.3, seed=4)
+        a = run_challenge(small_model, small_scenario, "angle/0",
+                          n_runs=1, faults=faults)
+        b = run_challenge(small_model, small_scenario, "angle/0",
+                          n_runs=1, faults=faults)
+        assert [o.coasted for o in a.runs[0].outcomes] == \
+            [o.coasted for o in b.runs[0].outcomes]
+
+    def test_clean_run_has_no_coasted_frames(self, small_model, small_scenario):
+        result = run_challenge(small_model, small_scenario, "angle/0",
+                               n_runs=1)
+        assert not any(o.coasted for o in result.runs[0].outcomes)
+
+
+class TestDeployableProtocol:
+    def test_non_deployable_artifact_rejected(self, small_model, small_scenario):
+        with pytest.raises(TypeError, match="Deployable"):
+            run_challenge(small_model, small_scenario, "angle/0",
+                          artifact=object(), n_runs=1)
+
+    def test_structural_conformance_is_enough(self):
+        class Decals:
+            def deploy(self, physical=False, rng=None):
+                return None
+
+        assert isinstance(Decals(), Deployable)
+        assert not isinstance(object(), Deployable)
+
+
+class TestPipelineUnderFaults:
+    def test_run_marks_sensor_faults_and_survives(self, small_model):
+        pipeline = AvPipeline(small_model)
+        frames = [np.full((3, 64, 64), 0.3, dtype=np.float32) for _ in range(8)]
+        faults = FaultSchedule(drop_probability=0.4, noise_probability=0.2, seed=2)
+        traces = pipeline.run(frames, faults=faults, rng=np.random.default_rng(2))
+        assert len(traces) == 8
+        assert any(t.sensor_fault for t in traces)
+        for trace in traces:
+            if trace.sensor_fault:
+                assert trace.detections == []
+            assert trace.decision is not None

@@ -1,0 +1,87 @@
+"""Sensor-fault schedules (repro.runtime.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import FAULT_KINDS, FaultEvent, FaultSchedule
+
+pytestmark = pytest.mark.runtime
+
+
+class TestValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent("flicker")
+
+    def test_probabilities_must_be_unit_interval(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(drop_probability=1.2)
+        with pytest.raises(ValueError):
+            FaultSchedule(noise_probability=-0.1)
+
+    def test_probabilities_must_sum_below_one(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(drop_probability=0.6, noise_probability=0.6)
+
+
+class TestSampling:
+    def test_deterministic_given_seed(self):
+        schedule = FaultSchedule(drop_probability=0.3, noise_probability=0.2, seed=5)
+        a = schedule.sample(50, np.random.default_rng(5))
+        b = schedule.sample(50, np.random.default_rng(5))
+        assert [e.kind if e else None for e in a] == \
+            [e.kind if e else None for e in b]
+
+    def test_marginal_rates_roughly_match(self):
+        schedule = FaultSchedule(drop_probability=0.2, noise_probability=0.1,
+                                 occlusion_probability=0.1)
+        events = schedule.sample(4000, np.random.default_rng(0))
+        kinds = [e.kind for e in events if e is not None]
+        n = len(events)
+        assert kinds.count("drop") / n == pytest.approx(0.2, abs=0.03)
+        assert kinds.count("noise") / n == pytest.approx(0.1, abs=0.03)
+        assert kinds.count("occlude") / n == pytest.approx(0.1, abs=0.03)
+        assert set(kinds) <= set(FAULT_KINDS)
+
+    def test_zero_schedule_is_all_clear(self):
+        assert FaultSchedule().sample(20) == [None] * 20
+
+
+class TestApply:
+    def _frame(self):
+        return np.full((3, 16, 16), 0.25, dtype=np.float32)
+
+    def test_none_event_passthrough(self):
+        frame = self._frame()
+        out = FaultSchedule().apply(frame, None)
+        assert out is frame
+
+    def test_drop_returns_none(self):
+        schedule = FaultSchedule.dropped_frames(1.0)
+        assert schedule.apply(self._frame(), FaultEvent("drop")) is None
+
+    def test_noise_keeps_shape_and_range(self):
+        schedule = FaultSchedule(noise_probability=1.0, noise_sigma=0.3)
+        out = schedule.apply(self._frame(), FaultEvent("noise", magnitude=0.3),
+                             np.random.default_rng(0))
+        assert out.shape == (3, 16, 16)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert not np.array_equal(out, self._frame())
+
+    def test_occlusion_paints_gray_rectangle(self):
+        schedule = FaultSchedule(occlusion_probability=1.0, occlusion_fraction=0.5)
+        frame = self._frame()
+        out = schedule.apply(frame, FaultEvent("occlude", magnitude=0.5),
+                             np.random.default_rng(0))
+        assert out is not frame  # input untouched
+        assert np.array_equal(frame, self._frame())
+        occluded = np.isclose(out, 0.5).all(axis=0)
+        assert occluded.sum() == 8 * 8
+
+    def test_degrade_stream_mixes_drops_and_frames(self):
+        schedule = FaultSchedule(drop_probability=0.5, seed=3)
+        frames = [self._frame() for _ in range(40)]
+        stream = schedule.degrade_stream(frames, np.random.default_rng(3))
+        assert len(stream) == 40
+        dropped = sum(1 for f in stream if f is None)
+        assert 0 < dropped < 40

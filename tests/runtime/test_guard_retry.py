@@ -1,0 +1,98 @@
+"""Divergence guard + bounded retry (repro.runtime.guard / .retry)."""
+
+import math
+
+import pytest
+
+from repro.runtime import (
+    DivergenceError,
+    DivergenceGuard,
+    GuardConfig,
+    RetryPolicy,
+    run_with_recovery,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+class TestGuard:
+    def test_finite_metrics_pass(self):
+        guard = DivergenceGuard()
+        guard.check(3, loss=0.7, g_grad_norm=12.0)  # no raise
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_loss_trips(self, bad):
+        guard = DivergenceGuard()
+        with pytest.raises(DivergenceError) as err:
+            guard.check(5, loss=bad)
+        assert err.value.step == 5
+        assert "loss" in err.value.reason
+
+    def test_exploding_norm_trips_only_norm_keys(self):
+        guard = DivergenceGuard(GuardConfig(grad_norm_threshold=100.0))
+        guard.check(1, loss=1e6)  # huge but finite non-norm metric is fine
+        with pytest.raises(DivergenceError):
+            guard.check(1, g_grad_norm=101.0)
+
+    def test_norm_threshold_can_be_disabled(self):
+        guard = DivergenceGuard(GuardConfig(grad_norm_threshold=None))
+        guard.check(1, g_grad_norm=1e12)  # no raise
+
+    def test_is_floating_point_error(self):
+        assert issubclass(DivergenceError, FloatingPointError)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GuardConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            GuardConfig(lr_decay=0.0)
+        with pytest.raises(ValueError):
+            GuardConfig(checkpoint_interval=0)
+
+
+class TestRetry:
+    def test_success_first_try(self):
+        assert run_with_recovery(lambda k: k + 41) == 41
+
+    def test_recovers_after_divergence(self):
+        calls = []
+        recoveries = []
+
+        def attempt(k):
+            calls.append(k)
+            if k < 2:
+                raise DivergenceError(step=7, reason="boom")
+            return "done"
+
+        result = run_with_recovery(
+            attempt, RetryPolicy(max_retries=3),
+            on_divergence=lambda k, err: recoveries.append((k, err.step)),
+        )
+        assert result == "done"
+        assert calls == [0, 1, 2]
+        assert recoveries == [(1, 7), (2, 7)]
+
+    def test_exhaustion_reraises_as_floating_point_error(self):
+        def attempt(k):
+            raise DivergenceError(step=k, reason="persistent")
+
+        with pytest.raises(FloatingPointError):
+            run_with_recovery(attempt, RetryPolicy(max_retries=2))
+
+    def test_other_exceptions_propagate_immediately(self):
+        calls = []
+
+        def attempt(k):
+            calls.append(k)
+            raise KeyError("not a divergence")
+
+        with pytest.raises(KeyError):
+            run_with_recovery(attempt, RetryPolicy(max_retries=5))
+        assert calls == [0]
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_retries=3, backoff_seconds=1.5, backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(1.5)
+        assert policy.delay(2) == pytest.approx(3.0)
+        assert policy.delay(3) == pytest.approx(6.0)
+        assert RetryPolicy(backoff_seconds=0.0).delay(3) == 0.0

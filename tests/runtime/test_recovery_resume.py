@@ -1,0 +1,214 @@
+"""End-to-end fault tolerance: crash/resume, divergence recovery, cache
+integrity (the PR's acceptance criteria)."""
+
+import numpy as np
+import pytest
+
+import repro.attack.trainer as attack_trainer
+import repro.experiments as experiments
+from repro.attack.artifacts import cached_path, load_attack, save_attack
+from repro.attack.config import AttackConfig
+from repro.attack.trainer import AttackResult, train_patch_attack
+from repro.detection.config import reduced_config
+from repro.detection.model import TinyYolo
+from repro.nn import Tensor
+from repro.nn.serialization import CheckpointError
+from repro.runtime import GuardConfig, RuntimeConfig
+from repro.scene.video import AttackScenario
+from repro.utils.logging import TrainLog
+
+pytestmark = pytest.mark.runtime
+
+
+def _small_setup():
+    model = TinyYolo(reduced_config(input_size=64, width_multiplier=0.25), seed=0)
+    scenario = AttackScenario(image_size=64)
+    config = AttackConfig(steps=6, warmup_steps=2, batch_frames=6,
+                          frame_pool=6, gan_batch=4, k=20)
+    return model, scenario, config
+
+
+class TestKillAndResume:
+    def test_resume_reproduces_uninterrupted_run_bit_for_bit(
+            self, tmp_path, monkeypatch):
+        model, scenario, config = _small_setup()
+        baseline = train_patch_attack(model, scenario, config)
+
+        # Crash the run partway through: attack_loss is called once per
+        # attack step, so failing on its 4th call kills the loop at step 3,
+        # after the checkpoints at steps 0 and 2 have landed.
+        ckpt = str(tmp_path / "attack.ckpt.npz")
+        runtime = RuntimeConfig(checkpoint_path=ckpt, checkpoint_interval=2,
+                                keep_checkpoint=True)
+        real_loss = attack_trainer.attack_loss
+        calls = {"n": 0}
+
+        def crashing_loss(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 4:
+                raise KeyboardInterrupt("simulated SIGKILL")
+            return real_loss(*args, **kwargs)
+
+        monkeypatch.setattr(attack_trainer, "attack_loss", crashing_loss)
+        with pytest.raises(KeyboardInterrupt):
+            train_patch_attack(model, scenario, config, runtime=runtime)
+        monkeypatch.setattr(attack_trainer, "attack_loss", real_loss)
+
+        # Resume from the on-disk snapshot in a fresh call.
+        log = TrainLog("resumed")
+        resumed = train_patch_attack(
+            model, scenario, config, log=log,
+            runtime=RuntimeConfig(checkpoint_path=ckpt, checkpoint_interval=2),
+        )
+
+        restores = log.events_of("checkpoint_restore")
+        assert len(restores) == 1 and restores[0]["step"] == 2
+        assert np.array_equal(resumed.patch, baseline.patch)
+        assert np.array_equal(resumed.alpha, baseline.alpha)
+
+    def test_checkpoint_deleted_after_successful_run(self, tmp_path):
+        import os
+
+        model, scenario, config = _small_setup()
+        ckpt = str(tmp_path / "attack.ckpt.npz")
+        train_patch_attack(
+            model, scenario, config,
+            runtime=RuntimeConfig(checkpoint_path=ckpt, checkpoint_interval=2),
+        )
+        assert not os.path.exists(ckpt)
+
+
+class TestDivergenceRecovery:
+    def test_nan_loss_rolls_back_cuts_lr_and_completes(self, monkeypatch):
+        model, scenario, config = _small_setup()
+        real_loss = attack_trainer.attack_loss
+        calls = {"n": 0}
+
+        def nan_once(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                return Tensor(float("nan"))
+            return real_loss(*args, **kwargs)
+
+        monkeypatch.setattr(attack_trainer, "attack_loss", nan_once)
+        log = TrainLog("recovered")
+        result = train_patch_attack(model, scenario, config, log=log)
+
+        recoveries = log.events_of("divergence_recovery")
+        assert len(recoveries) == 1
+        event = recoveries[0]
+        assert event["step"] == 2
+        assert "non-finite g_loss" in event["reason"]
+        assert event["attempt"] == 1
+        assert event["lr"] == pytest.approx(config.learning_rate * 0.5)
+        assert np.isfinite(result.patch).all()
+
+    def test_persistent_divergence_exhausts_as_floating_point_error(
+            self, monkeypatch):
+        model, scenario, config = _small_setup()
+        monkeypatch.setattr(attack_trainer, "attack_loss",
+                            lambda *a, **k: Tensor(float("nan")))
+        runtime = RuntimeConfig(guard=GuardConfig(max_retries=1))
+        with pytest.raises(FloatingPointError):
+            train_patch_attack(model, scenario, config, runtime=runtime)
+
+
+class TestWorkbenchCacheIntegrity:
+    def _canned_result(self, config):
+        log = TrainLog("stub")
+        log.log(0, g_loss=1.0)
+        return AttackResult(
+            patch=np.full((1, config.k, config.k), 0.5, dtype=np.float32),
+            alpha=np.ones((config.k, config.k), dtype=np.float32),
+            config=config,
+            history=log,
+            world_size_m=0.45,
+        )
+
+    def test_truncated_artifact_is_retrained_not_loaded(
+            self, tmp_path, monkeypatch):
+        bench = experiments.Workbench.smoke(cache_dir=str(tmp_path))
+        config = bench.attack_config()
+        trains = {"n": 0}
+
+        def stub_train(model, scenario, cfg, log=None, runtime=None):
+            trains["n"] += 1
+            return self._canned_result(cfg)
+
+        monkeypatch.setattr(experiments, "train_patch_attack", stub_train)
+        monkeypatch.setattr(experiments.Workbench, "detector",
+                            lambda self, force_retrain=False: None)
+        monkeypatch.setattr(experiments.Workbench, "scenario",
+                            lambda self: None)
+
+        first = bench.train_attack(config)
+        assert trains["n"] == 1
+        path = cached_path(bench.cache_dir, config, kind="attack")
+
+        # Cache hit: no retrain.
+        bench.train_attack(config)
+        assert trains["n"] == 1
+
+        # Truncate the artifact mid-file — the poisoned cache must be
+        # discarded, retrained, and overwritten with a valid archive.
+        import os
+
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        with pytest.warns(UserWarning, match="corrupt cached artifact"):
+            retrained = bench.train_attack(config)
+        assert trains["n"] == 2
+        assert np.array_equal(retrained.patch, first.patch)
+        reloaded = load_attack(path)  # now valid again
+        assert np.array_equal(reloaded.patch, first.patch)
+
+    def test_load_attack_rejects_truncation_directly(self, tmp_path):
+        import os
+
+        config = AttackConfig(k=12)
+        path = str(tmp_path / "attack.npz")
+        save_attack(self._canned_result(config), path)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 3)
+        with pytest.raises(CheckpointError):
+            load_attack(path)
+
+
+class TestBatchFrameClamping:
+    """Satellite: _batch_frames must not crash on small pools."""
+
+    @staticmethod
+    def _frames(n):
+        from repro.scene.video import TrainingFrame
+
+        return [TrainingFrame(image=np.zeros((3, 8, 8), dtype=np.float32),
+                              target_box_xywh=np.zeros(4),
+                              placements=[], pose=None)
+                for _ in range(n)]
+
+    def test_small_pool_yields_clamped_batch(self):
+        from repro.attack.trainer import _batch_frames
+
+        config = AttackConfig(batch_frames=12, group=3)
+        batch = _batch_frames(self._frames(3), config, np.random.default_rng(0))
+        assert len(batch) == 3  # one complete run, not a crash
+
+    def test_small_pool_clamps_without_consecutive_grouping(self):
+        from repro.attack.trainer import _batch_frames
+
+        config = AttackConfig(batch_frames=12, consecutive=False)
+        batch = _batch_frames(self._frames(5), config, np.random.default_rng(0))
+        assert len(batch) == 5
+
+    def test_empty_pool_raises_value_error(self):
+        from repro.attack.trainer import _batch_frames
+
+        with pytest.raises(ValueError, match="empty"):
+            _batch_frames([], AttackConfig(), np.random.default_rng(0))
+
+    def test_pool_without_complete_run_raises(self):
+        from repro.attack.trainer import _batch_frames
+
+        with pytest.raises(ValueError, match="complete run"):
+            _batch_frames(self._frames(2), AttackConfig(group=3),
+                          np.random.default_rng(0))
