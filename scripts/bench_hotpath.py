@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Benchmark the detection hot path and emit ``BENCH_hotpath.json``.
+
+Runs a seeded synthetic video through :class:`repro.av.AvPipeline` twice:
+
+* **per-frame** — the historical reference loop, one ``step()`` (one
+  detector forward) per frame;
+* **batched** — ``run(batch_size=N)``, the vectorized hot path, with a
+  :class:`repro.perf.PerfRecorder` attributing forward / decode / nms /
+  confirm time.
+
+The two traces are asserted behaviourally identical (same detections,
+confirmations and planner actions frame by frame) before any number is
+reported, so the speedup can never come from changed semantics. The JSON
+report seeds the repo's perf trajectory; re-run with ``--check`` in CI to
+fail on a >20% frames/sec regression against the committed report.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_hotpath.py              # write report
+    PYTHONPATH=src python scripts/bench_hotpath.py --check      # regression gate
+    PYTHONPATH=src python scripts/bench_hotpath.py --layers     # per-layer table
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.av import AvPipeline  # noqa: E402
+from repro.detection import TinyYolo, reduced_config  # noqa: E402
+from repro.perf import LayerProfiler, PerfRecorder, load_report, write_report  # noqa: E402
+
+DEFAULT_REPORT = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
+#: --check fails when batched frames/sec drops below this share of the
+#: committed number.
+REGRESSION_TOLERANCE = 0.20
+
+
+def build_pipeline(args: argparse.Namespace) -> AvPipeline:
+    detector = TinyYolo(
+        reduced_config(input_size=args.input_size,
+                       width_multiplier=args.width),
+        seed=args.seed,
+    )
+    return AvPipeline(detector, confirm_frames=3,
+                      conf_threshold=args.conf_threshold)
+
+
+def make_video(args: argparse.Namespace) -> list:
+    rng = np.random.default_rng(args.seed)
+    return [rng.random((3, args.input_size, args.input_size)).astype(np.float32)
+            for _ in range(args.frames)]
+
+
+def traces_equal(reference, batched, atol: float = 1e-3) -> bool:
+    """Behavioural identity: detections, confirmations, planner actions.
+
+    Boxes and scores are compared to within BLAS reassociation noise
+    (batched and single-frame GEMMs round differently at ~1e-5 relative);
+    every discrete outcome — counts, classes, track ids, planner actions —
+    must match exactly.
+    """
+    if len(reference) != len(batched):
+        return False
+    for ref, bat in zip(reference, batched):
+        if ref.sensor_fault != bat.sensor_fault:
+            return False
+        if ref.decision.action != bat.decision.action:
+            return False
+        if len(ref.detections) != len(bat.detections):
+            return False
+        for a, b in zip(ref.detections, bat.detections):
+            if a.class_id != b.class_id:
+                return False
+            if not np.allclose(a.box_xyxy, b.box_xyxy, atol=atol, rtol=1e-5):
+                return False
+            if abs(a.score - b.score) > atol:
+                return False
+        ref_conf = [(c.track_id, c.class_id) for c in ref.confirmed]
+        bat_conf = [(c.track_id, c.class_id) for c in bat.confirmed]
+        if ref_conf != bat_conf:
+            return False
+    return True
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    pipeline = build_pipeline(args)
+    frames = make_video(args)
+
+    # Warm up caches (decode constants, einsum paths, BLAS threads).
+    pipeline.run(frames[: min(4, len(frames))], batch_size=args.batch_size)
+
+    pipeline.reset()
+    start = time.perf_counter()
+    reference_traces = [pipeline.step(frame) for frame in frames]
+    per_frame_seconds = time.perf_counter() - start
+    per_frame_fps = len(frames) / per_frame_seconds
+
+    perf = PerfRecorder()
+    start = time.perf_counter()
+    batched_traces = pipeline.run(frames, batch_size=args.batch_size, perf=perf)
+    batched_seconds = time.perf_counter() - start
+    batched_fps = len(frames) / batched_seconds
+
+    identical = traces_equal(reference_traces, batched_traces)
+    if not identical:
+        raise SystemExit(
+            "FATAL: batched pipeline traces diverge from the per-frame "
+            "reference — refusing to report a speedup for different "
+            "semantics")
+
+    payload = {
+        "benchmark": "av_pipeline_hotpath",
+        "config": {
+            "frames": args.frames,
+            "batch_size": args.batch_size,
+            "input_size": args.input_size,
+            "width_multiplier": args.width,
+            "conf_threshold": args.conf_threshold,
+            "seed": args.seed,
+        },
+        "per_frame_fps": round(per_frame_fps, 2),
+        "batched_fps": round(batched_fps, 2),
+        "speedup": round(batched_fps / per_frame_fps, 3),
+        "trace_identical": identical,
+        "perf": perf.report(),
+    }
+
+    if args.layers:
+        profiler = LayerProfiler(pipeline.detector)
+        with profiler:
+            pipeline.run(frames[: args.batch_size],
+                         batch_size=args.batch_size)
+        payload["layers"] = [
+            {"layer": name, "seconds": round(seconds, 6), "calls": calls}
+            for name, seconds, calls in profiler.table()
+        ]
+    return payload
+
+
+def check_regression(report_path: str, payload: dict) -> int:
+    committed = load_report(report_path)
+    floor = committed["batched_fps"] * (1.0 - REGRESSION_TOLERANCE)
+    current = payload["batched_fps"]
+    print(f"committed batched fps: {committed['batched_fps']:.2f}  "
+          f"current: {current:.2f}  floor (-{REGRESSION_TOLERANCE:.0%}): {floor:.2f}")
+    if current < floor:
+        print("FAIL: hot-path regression exceeds tolerance")
+        return 1
+    print("OK: within regression tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=48)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--input-size", type=int, default=64)
+    parser.add_argument("--width", type=float, default=0.25)
+    parser.add_argument("--conf-threshold", type=float, default=0.001,
+                        help="low threshold so NMS/confirmation see real work")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=DEFAULT_REPORT)
+    parser.add_argument("--layers", action="store_true",
+                        help="include a per-layer TinyYolo timing table")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed report instead "
+                             "of overwriting it; exit 1 on >20%% regression")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(args)
+    print(f"per-frame: {payload['per_frame_fps']:.2f} fps   "
+          f"batched(x{args.batch_size}): {payload['batched_fps']:.2f} fps   "
+          f"speedup: {payload['speedup']:.2f}x   "
+          f"trace-identical: {payload['trace_identical']}")
+    for name, stage in payload["perf"]["stages"].items():
+        print(f"  {name:>8}: {stage['seconds']*1e3:8.1f} ms  "
+              f"({stage['share']:5.1%})  {stage['calls']} calls")
+
+    if args.check:
+        return check_regression(args.output, payload)
+    write_report(args.output, payload)
+    print(f"wrote {os.path.abspath(args.output)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,8 @@ built entirely on a from-scratch numpy deep-learning stack:
   behind the paper's CWC argument);
 * :mod:`repro.runtime` — fault-tolerant runtime: checkpoint/resume,
   divergence recovery, sensor-fault injection (DESIGN.md §7);
+* :mod:`repro.perf` — hot-path observability: stage timers, per-layer
+  profiling hooks, JSON perf reports (DESIGN.md §8);
 * :mod:`repro.experiments` — turnkey experiment harness used by the
   benchmarks that regenerate every table and figure.
 

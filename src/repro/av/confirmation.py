@@ -151,17 +151,18 @@ class DetectionConfirmer:
             track_boxes = np.stack([t.box_xyxy for t in self.tracks])
             det_boxes = np.stack([d.box_xyxy for d in detections])
             ious = iou_matrix(track_boxes, det_boxes)
-            # Greedy association in descending IoU order.
-            pairs = []
-            for t_index in range(len(self.tracks)):
-                for d_index in range(len(detections)):
-                    pairs.append((ious[t_index, d_index], t_index, d_index))
-            pairs.sort(reverse=True, key=lambda p: p[0])
+            # Greedy association in descending IoU order. Only pairs at or
+            # above the association threshold can ever match, so filter
+            # first and stable-sort those: ties keep the (track-major,
+            # detection-minor) order the old full pair sort produced.
+            flat = ious.ravel()
+            candidates = np.nonzero(flat >= self.iou_threshold)[0]
+            order = candidates[np.argsort(-flat[candidates], kind="stable")]
+            n_det = len(detections)
             used_tracks: set = set()
             used_dets: set = set()
-            for iou, t_index, d_index in pairs:
-                if iou < self.iou_threshold:
-                    break
+            for pair in order.tolist():
+                t_index, d_index = divmod(pair, n_det)
                 if t_index in used_tracks or d_index in used_dets:
                     continue
                 self.tracks[t_index].update(detections[d_index])

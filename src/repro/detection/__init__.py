@@ -16,11 +16,18 @@ from .boxes import (
     xyxy_to_xywh,
 )
 from .config import CLASS_NAMES, TinyYoloConfig, reduced_config
-from .decode import DecodedHead, Detection, decode_head, decode_heads, detections_from_outputs
+from .decode import (
+    DecodedHead,
+    Detection,
+    batched_detections,
+    decode_head,
+    decode_heads,
+    detections_from_outputs,
+)
 from .loss import YoloLossResult, yolo_loss
 from .metrics import MapResult, average_precision, evaluate_map
 from .model import TinyYolo
-from .nms import non_max_suppression
+from .nms import non_max_suppression, non_max_suppression_reference
 from .targets import GroundTruth, HeadTargets, build_targets
 from .train import DetectorTrainConfig, train_detector
 
@@ -34,6 +41,7 @@ __all__ = [
     "decode_head",
     "decode_heads",
     "detections_from_outputs",
+    "batched_detections",
     "GroundTruth",
     "HeadTargets",
     "build_targets",
@@ -45,6 +53,7 @@ __all__ = [
     "average_precision",
     "evaluate_map",
     "non_max_suppression",
+    "non_max_suppression_reference",
     "xywh_to_xyxy",
     "xyxy_to_xywh",
     "box_area",

@@ -12,18 +12,27 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn import Tensor, no_grad
 from ..nn import functional as F
+from ..nn.functional import stable_sigmoid
 from ..nn.tensor import concatenate
+from ..perf import PerfRecorder, stage_scope
 from .boxes import xywh_to_xyxy
 from .config import TinyYoloConfig
 from .nms import non_max_suppression
 
-__all__ = ["DecodedHead", "Detection", "decode_head", "decode_heads", "detections_from_outputs"]
+__all__ = [
+    "DecodedHead",
+    "Detection",
+    "decode_head",
+    "decode_heads",
+    "detections_from_outputs",
+    "batched_detections",
+]
 
 
 @dataclass
@@ -55,6 +64,33 @@ class Detection:
         return self.class_id
 
 
+#: Cache of decode constants keyed by (grid_size, anchor tuple). The cell
+#: grids and anchor broadcasts are pure functions of the head geometry —
+#: rebuilding them for every frame of every evaluation video is wasted
+#: allocation on the hot path. Entries are tiny (a few KiB) and the key
+#: space is bounded by the distinct head geometries a process ever sees.
+_DECODE_CONSTANTS: Dict[tuple, Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray, np.ndarray]] = {}
+
+
+def _decode_constants(s: int, anchors: Sequence[Tuple[float, float]]):
+    """(cell_x, cell_y, anchor_w, anchor_h, anchor_arr) for one geometry."""
+    anchor_key = tuple(tuple(float(v) for v in pair) for pair in anchors)
+    key = (int(s), anchor_key)
+    cached = _DECODE_CONSTANTS.get(key)
+    if cached is None:
+        cell_x = np.arange(s, dtype=np.float32)[None, None, None, :]
+        cell_y = np.arange(s, dtype=np.float32)[None, None, :, None]
+        anchor_arr = np.asarray(anchors, dtype=np.float32)
+        anchor_w = anchor_arr[:, 0][None, :, None, None]
+        anchor_h = anchor_arr[:, 1][None, :, None, None]
+        for array in (cell_x, cell_y, anchor_arr, anchor_w, anchor_h):
+            array.setflags(write=False)
+        cached = (cell_x, cell_y, anchor_w, anchor_h, anchor_arr)
+        _DECODE_CONSTANTS[key] = cached
+    return cached
+
+
 def decode_head(raw: Tensor, anchors: Sequence[Tuple[float, float]],
                 stride: int, num_classes: int) -> DecodedHead:
     """Decode one raw head tensor ``(N, A*(5+C), S, S)``.
@@ -78,11 +114,7 @@ def decode_head(raw: Tensor, anchors: Sequence[Tuple[float, float]],
     obj_logit = grid[..., 4]
     cls_logits = grid[..., 5:]
 
-    cell_x = np.arange(s, dtype=np.float32)[None, None, None, :]
-    cell_y = np.arange(s, dtype=np.float32)[None, None, :, None]
-    anchor_arr = np.asarray(anchors, dtype=np.float32)
-    anchor_w = anchor_arr[:, 0][None, :, None, None]
-    anchor_h = anchor_arr[:, 1][None, :, None, None]
+    cell_x, cell_y, anchor_w, anchor_h, anchor_arr = _decode_constants(s, anchors)
 
     bx = (F.sigmoid(tx) + cell_x) * float(stride)
     by = (F.sigmoid(ty) + cell_y) * float(stride)
@@ -124,21 +156,24 @@ def detections_from_outputs(
     conf_threshold: float = 0.3,
     iou_threshold: float = 0.45,
     max_detections: int = 50,
+    perf: Optional[PerfRecorder] = None,
 ) -> List[List[Detection]]:
     """Full inference post-processing for a batch.
 
     Score = objectness × max class probability (YOLOv3 convention). Returns
-    one detection list per batch element, NMS applied per class.
+    one detection list per batch element, NMS applied per class. A
+    :class:`~repro.perf.PerfRecorder` attributes decode vs NMS time.
     """
-    with no_grad():
+    batch = outputs[0].shape[0]
+    with no_grad(), stage_scope(perf, "decode", items=batch):
         heads = decode_heads(outputs, config)
-        batch = outputs[0].shape[0]
         all_boxes, all_obj, all_cls = [], [], []
         for head in heads:
             n = batch
             boxes = head.boxes_xywh.data.reshape(n, -1, 4)
-            obj = 1.0 / (1.0 + np.exp(-head.objectness_logit.data.reshape(n, -1)))
-            cls = 1.0 / (1.0 + np.exp(-head.class_logits.data.reshape(n, -1, config.num_classes)))
+            obj = stable_sigmoid(head.objectness_logit.data.reshape(n, -1))
+            cls = stable_sigmoid(
+                head.class_logits.data.reshape(n, -1, config.num_classes))
             all_boxes.append(boxes)
             all_obj.append(obj)
             all_cls.append(cls)
@@ -147,30 +182,73 @@ def detections_from_outputs(
         cls = np.concatenate(all_cls, axis=1)
 
     results: List[List[Detection]] = []
-    for i in range(batch):
-        scores = obj[i][:, None] * cls[i]
-        best_class = scores.argmax(axis=1)
-        best_score = scores[np.arange(scores.shape[0]), best_class]
-        keep = best_score >= conf_threshold
-        if not keep.any():
-            results.append([])
-            continue
-        boxes_xyxy = xywh_to_xyxy(boxes[i][keep])
-        kept_scores = best_score[keep]
-        kept_classes = best_class[keep]
-        kept_probs = cls[i][keep]
-        selected = non_max_suppression(
-            boxes_xyxy, kept_scores, kept_classes, iou_threshold, max_detections
+    with stage_scope(perf, "nms", items=batch):
+        for i in range(batch):
+            scores = obj[i][:, None] * cls[i]
+            best_class = scores.argmax(axis=1)
+            best_score = scores[np.arange(scores.shape[0]), best_class]
+            keep = best_score >= conf_threshold
+            if not keep.any():
+                results.append([])
+                continue
+            boxes_xyxy = xywh_to_xyxy(boxes[i][keep])
+            kept_scores = best_score[keep]
+            kept_classes = best_class[keep]
+            kept_probs = cls[i][keep]
+            selected = non_max_suppression(
+                boxes_xyxy, kept_scores, kept_classes, iou_threshold, max_detections
+            )
+            results.append(
+                [
+                    Detection(
+                        box_xyxy=boxes_xyxy[j],
+                        score=float(kept_scores[j]),
+                        class_id=int(kept_classes[j]),
+                        class_probs=kept_probs[j],
+                    )
+                    for j in selected
+                ]
+            )
+    return results
+
+
+def batched_detections(
+    model,
+    images: Sequence[Optional[np.ndarray]],
+    conf_threshold: float = 0.3,
+    iou_threshold: float = 0.45,
+    max_detections: int = 50,
+    batch_size: int = 8,
+    perf: Optional[PerfRecorder] = None,
+) -> List[Optional[List[Detection]]]:
+    """Detect over a frame stream, forwarding frames in batches.
+
+    ``images`` may contain ``None`` entries (dropped frames — e.g. from a
+    :class:`~repro.runtime.FaultSchedule`); those positions come back as
+    ``None`` so callers can keep their per-frame coasting semantics. All
+    non-dropped frames are stacked into batches of up to ``batch_size``
+    and pushed through ``model`` in one forward pass each, which is what
+    makes frame-rate-scale evaluation affordable (DESIGN.md §8).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    results: List[Optional[List[Detection]]] = [None] * len(images)
+    live = [(index, image) for index, image in enumerate(images)
+            if image is not None]
+    for start in range(0, len(live), batch_size):
+        chunk = live[start:start + batch_size]
+        stacked = np.stack([image for _, image in chunk])
+        with no_grad(), stage_scope(perf, "forward", items=len(chunk)):
+            outputs = model(Tensor(stacked))
+        per_image = detections_from_outputs(
+            outputs, model.config, conf_threshold=conf_threshold,
+            iou_threshold=iou_threshold, max_detections=max_detections,
+            perf=perf,
         )
-        results.append(
-            [
-                Detection(
-                    box_xyxy=boxes_xyxy[j],
-                    score=float(kept_scores[j]),
-                    class_id=int(kept_classes[j]),
-                    class_probs=kept_probs[j],
-                )
-                for j in selected
-            ]
-        )
+        for (index, _), detections in zip(chunk, per_image):
+            results[index] = detections
+    if perf is not None:
+        perf.count("frames", len(images))
+        perf.count("dropped_frames", len(images) - len(live))
+        perf.count("batches", (len(live) + batch_size - 1) // batch_size)
     return results

@@ -130,6 +130,10 @@ def train_detector(
     last_good: List[TrainingCheckpoint] = []
 
     def run_epochs(first_epoch: int, first_step: int) -> None:
+        # Start the (lazy) budget clock at the first optimization step, so
+        # checkpoint restore and other setup don't eat training wall-clock;
+        # idempotent across divergence retries.
+        budget.start()
         step = first_step
         for epoch in range(first_epoch, config.epochs):
             if manager.due(epoch) or not last_good:

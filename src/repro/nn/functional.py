@@ -30,6 +30,8 @@ from .tensor import (
 )
 
 __all__ = [
+    "stable_sigmoid",
+    "unfold_windows",
     "im2col",
     "col2im",
     "conv2d",
@@ -56,16 +58,38 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
+# Numerically stable sigmoid (plain numpy, no autograd)
+# ----------------------------------------------------------------------
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Overflow-free logistic on a raw numpy array.
+
+    ``1/(1+exp(-x))`` overflows for large negative ``x`` (an untrained or
+    freshly fine-tuned head emits logits well past float32's exp range).
+    Clamping to ±60 is exact in float32: σ(60) already rounds to 1.0.
+    Shared by :func:`sigmoid`, :func:`bce_with_logits` and the inference
+    decode path so every sigmoid in the stack has the same numerics.
+    """
+    x = np.asarray(x)
+    return (1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))).astype(
+        np.float32, copy=False
+    )
+
+
+# ----------------------------------------------------------------------
 # im2col / col2im
 # ----------------------------------------------------------------------
 
-def im2col(
+def unfold_windows(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> Tuple[np.ndarray, int, int]:
-    """Unfold sliding ``kernel``×``kernel`` windows of an NCHW array.
+    """Strided *view* of all sliding ``kernel``×``kernel`` windows.
 
-    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
-    ``(N, C * kernel * kernel, out_h * out_w)``.
+    Returns ``(windows, out_h, out_w)`` with ``windows`` shaped
+    ``(N, C, out_h, out_w, kernel, kernel)``, read-only, and backed by the
+    (padded) input — no data is materialized. einsum consumes this view
+    directly, so the K²-times-larger column matrix never needs to exist
+    as a concrete array on the forward path.
     """
     n, c, h, w = x.shape
     if padding:
@@ -86,8 +110,24 @@ def im2col(
         ),
         writeable=False,
     )
+    return windows, out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold sliding ``kernel``×``kernel`` windows of an NCHW array.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C * kernel * kernel, out_h * out_w)``. The reshape of the
+    transposed window view already materializes a fresh C-contiguous
+    array (except for the 1×1/stride-1 case, where it stays a view of
+    the input, which every consumer here treats as read-only).
+    """
+    windows, out_h, out_w = unfold_windows(x, kernel, stride, padding)
+    n, c = x.shape[:2]
     cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, out_h * out_w)
-    return np.ascontiguousarray(cols), out_h, out_w
+    return cols, out_h, out_w
 
 
 def col2im(
@@ -135,26 +175,31 @@ def conv2d(
         raise ValueError(
             f"conv2d weight {weight.data.shape} incompatible with input {x.data.shape}"
         )
-    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
-    w_mat = weight.data.reshape(out_c, -1)
-    result = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
-    result = result.reshape(n, out_c, out_h, out_w)
+    windows, out_h, out_w = unfold_windows(x.data, kernel, stride, padding)
+    result = np.einsum("ockl,nchwkl->nohw", weight.data, windows, optimize=True)
     if bias is not None:
         result = result + bias.data.reshape(1, -1, 1, 1)
     parents = (x, weight) + ((bias,) if bias is not None else ())
     out = _make(result, parents)
+    # `windows` must not be captured by the closure below: it pins the padded
+    # input (and historically the materialized im2col buffer, K²× the input)
+    # in memory for every conv in the graph until backward runs. The unfold
+    # is a pure function of x.data, so backward recomputes the view instead.
+    del windows
 
     def backward(grad, staged):
         grad = np.asarray(grad, dtype=np.float32)
-        grad_mat = grad.reshape(n, out_c, out_h * out_w)
+        grad4 = grad.reshape(n, out_c, out_h, out_w)
         if weight.requires_grad:
-            grad_w = np.einsum("nop,nkp->ok", grad_mat, cols, optimize=True)
-            _route(weight, grad_w.reshape(weight.data.shape), staged)
+            rewound = unfold_windows(x.data, kernel, stride, padding)[0]
+            grad_w = np.einsum("nohw,nchwkl->ockl", grad4, rewound, optimize=True)
+            _route(weight, grad_w, staged)
         if x.requires_grad:
-            grad_cols = np.einsum("ok,nop->nkp", w_mat, grad_mat, optimize=True)
+            grad_cols = np.einsum("ockl,nohw->ncklhw", weight.data, grad4, optimize=True)
             _route(
                 x,
-                col2im(grad_cols, x.data.shape, kernel, stride, padding, out_h, out_w),
+                col2im(grad_cols.reshape(n, c * kernel * kernel, out_h * out_w),
+                       x.data.shape, kernel, stride, padding, out_h, out_w),
                 staged,
             )
         if bias is not None and bias.requires_grad:
@@ -434,8 +479,8 @@ def leaky_relu(x: Tensor, slope: float = 0.1) -> Tensor:
 
 def sigmoid(x: Tensor) -> Tensor:
     x = ensure_tensor(x)
-    value = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60)))
-    out = _make(value.astype(np.float32), (x,))
+    value = stable_sigmoid(x.data)
+    out = _make(value, (x,))
 
     def backward(grad, staged):
         _route(x, np.asarray(grad) * value * (1 - value), staged)
@@ -523,7 +568,7 @@ def bce_with_logits(logits: Tensor, target, weight=None) -> Tensor:
 
     def backward(grad, staged):
         grad = np.asarray(grad, dtype=np.float32)
-        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        sig = stable_sigmoid(x)
         local = (sig - target) / count
         if weight is not None:
             local = local * weight

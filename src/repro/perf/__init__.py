@@ -1,0 +1,34 @@
+"""Hot-path observability: stage timers, throughput counters, profiling.
+
+The ROADMAP's north star — "as fast as the hardware allows" — is only
+meaningful if the inference path is measured. This package provides the
+instrumentation the batched detection hot path reports through:
+
+* :class:`StageStats` / :class:`PerfRecorder` — scoped per-stage wall-clock
+  timers (forward / decode / nms / confirm / …) with item counts, so
+  frames-per-second and per-stage shares fall out of one recorder;
+* :class:`LayerProfiler` — optional per-layer timing hooks for any
+  :class:`~repro.nn.layers.Module` tree (e.g. TinyYolo), attached and
+  detached without touching model code;
+* :func:`write_report` / :func:`load_report` — versioned JSON perf reports
+  (``scripts/bench_hotpath.py`` emits ``BENCH_hotpath.json`` through this,
+  seeding the repo's performance trajectory).
+
+Everything is dependency-free (stdlib + numpy) and cheap enough to leave
+attached in tests; passing ``perf=None`` everywhere keeps the hot path
+zero-overhead.
+"""
+
+from .profile import LayerProfiler
+from .report import REPORT_SCHEMA_VERSION, load_report, write_report
+from .timers import PerfRecorder, StageStats, stage_scope
+
+__all__ = [
+    "PerfRecorder",
+    "StageStats",
+    "stage_scope",
+    "LayerProfiler",
+    "write_report",
+    "load_report",
+    "REPORT_SCHEMA_VERSION",
+]

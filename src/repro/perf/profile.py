@@ -1,0 +1,103 @@
+"""Optional per-layer timing hooks for ``repro.nn`` module trees.
+
+Wraps each named submodule's ``forward`` with a timing shim, accumulating
+wall-clock per layer path (``conv1``, ``conv8.bn``, …). Attach/detach is
+instance-local monkeypatching — model code is untouched, and a detached
+model is bit-identical to an unprofiled one. Used by
+``scripts/bench_hotpath.py --layers`` to break TinyYolo's forward pass
+down layer by layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from .timers import PerfRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nn.layers import Module
+
+__all__ = ["LayerProfiler"]
+
+
+class LayerProfiler:
+    """Times every submodule forward of a :class:`~repro.nn.layers.Module`.
+
+    Usage::
+
+        profiler = LayerProfiler(model).attach()
+        model(x)
+        profiler.detach()
+        profiler.table()   # [(layer_path, seconds, calls), ...] slowest first
+
+    Nested modules are each timed; because a parent's forward calls its
+    children, parent times *include* child times (the table reports the
+    tree as measured, not exclusive self-time).
+    """
+
+    def __init__(self, model: "Module") -> None:
+        self.model = model
+        self.recorder = PerfRecorder()
+        self._wrapped: List["Module"] = []
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "LayerProfiler":
+        if self._attached:
+            return self
+        for path, module in self._named_modules(self.model):
+            if not path:  # skip the root; callers time the full forward
+                continue
+            self._wrap(path, module)
+        self._attached = True
+        return self
+
+    def detach(self) -> "LayerProfiler":
+        for module in self._wrapped:
+            module.__dict__.pop("forward", None)
+        self._wrapped.clear()
+        self._attached = False
+        return self
+
+    def __enter__(self) -> "LayerProfiler":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def _wrap(self, path: str, module: "Module") -> None:
+        original = module.forward
+        recorder = self.recorder
+
+        def timed_forward(*args, **kwargs):
+            with recorder.stage(path):
+                return original(*args, **kwargs)
+
+        module.__dict__["forward"] = timed_forward
+        self._wrapped.append(module)
+
+    @staticmethod
+    def _named_modules(root: "Module") -> List[Tuple[str, "Module"]]:
+        found: List[Tuple[str, "Module"]] = []
+
+        def walk(prefix: str, module: "Module") -> None:
+            found.append((prefix, module))
+            for name, child in module._modules.items():
+                walk(prefix + "." + name if prefix else name, child)
+
+        walk("", root)
+        return found
+
+    # ------------------------------------------------------------------
+    def seconds(self) -> Dict[str, float]:
+        return {name: stats.seconds for name, stats in self.recorder.stages.items()}
+
+    def table(self) -> List[Tuple[str, float, int]]:
+        """(layer_path, seconds, calls) sorted slowest-first."""
+        rows = [
+            (name, stats.seconds, stats.calls)
+            for name, stats in self.recorder.stages.items()
+        ]
+        rows.sort(key=lambda row: -row[1])
+        return rows

@@ -1,0 +1,49 @@
+"""Versioned JSON perf reports (the ``BENCH_*.json`` trajectory files)."""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+__all__ = ["REPORT_SCHEMA_VERSION", "write_report", "load_report"]
+
+#: Bump when the report layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+
+def write_report(path: str, payload: dict) -> dict:
+    """Atomically write ``payload`` (plus schema metadata) as JSON.
+
+    Returns the full document written. Atomic rename matches the
+    checkpointing discipline in :mod:`repro.nn.serialization`: a crashed
+    writer never leaves a half-written trajectory file behind.
+    """
+    document = {"schema_version": REPORT_SCHEMA_VERSION}
+    document.update(payload)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return document
+
+
+def load_report(path: str, expected_version: Optional[int] = REPORT_SCHEMA_VERSION) -> dict:
+    """Load a perf report, validating the schema version when given."""
+    with open(path) as handle:
+        document = json.load(handle)
+    version = document.get("schema_version")
+    if expected_version is not None and version != expected_version:
+        raise ValueError(
+            f"perf report {path!r} has schema_version={version!r}, "
+            f"expected {expected_version}"
+        )
+    return document

@@ -1,0 +1,122 @@
+"""Scoped stage timers and throughput counters for the inference hot path."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+from typing import ContextManager, Dict, Iterator, Optional
+
+__all__ = ["StageStats", "PerfRecorder", "stage_scope"]
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock for one named stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    items: int = 0
+
+    def add(self, seconds: float, items: int = 0) -> None:
+        self.seconds += seconds
+        self.calls += 1
+        self.items += items
+
+    def items_per_second(self) -> float:
+        """Throughput over accumulated time (0 when nothing was timed)."""
+        if self.seconds <= 0.0 or self.items == 0:
+            return 0.0
+        return self.items / self.seconds
+
+
+class PerfRecorder:
+    """Collects per-stage timings and free-form counters for one workload.
+
+    Usage::
+
+        perf = PerfRecorder()
+        with perf.stage("forward", items=len(batch)):
+            outputs = model(batch)
+        perf.count("frames", len(batch))
+        perf.report()   # → plain dict, JSON-ready
+
+    A recorder is cheap but not free; hot paths accept ``perf=None`` and
+    skip instrumentation entirely (see :func:`stage_scope`).
+    """
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageStats] = {}
+        self.counters: Dict[str, float] = {}
+        self._wall_start = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str, items: int = 0) -> Iterator[None]:
+        """Time one scoped section, attributing ``items`` units of work."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages.setdefault(name, StageStats()).add(elapsed, items)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    # ------------------------------------------------------------------
+    def stage_seconds(self, name: str) -> float:
+        stats = self.stages.get(name)
+        return stats.seconds if stats is not None else 0.0
+
+    def fps(self, stage: str = "forward") -> float:
+        """Frames (items) per second of one stage."""
+        stats = self.stages.get(stage)
+        return stats.items_per_second() if stats is not None else 0.0
+
+    def wall_seconds(self) -> float:
+        return time.perf_counter() - self._wall_start
+
+    def merge(self, other: "PerfRecorder") -> "PerfRecorder":
+        """Fold another recorder's stages/counters into this one."""
+        for name, stats in other.stages.items():
+            mine = self.stages.setdefault(name, StageStats())
+            mine.seconds += stats.seconds
+            mine.calls += stats.calls
+            mine.items += stats.items
+        for name, value in other.counters.items():
+            self.count(name, value)
+        return self
+
+    def report(self) -> dict:
+        """JSON-ready summary: stages, shares, counters, wall clock."""
+        timed = sum(s.seconds for s in self.stages.values())
+        stages = {}
+        for name, stats in sorted(self.stages.items()):
+            stages[name] = {
+                "seconds": stats.seconds,
+                "calls": stats.calls,
+                "items": stats.items,
+                "items_per_second": stats.items_per_second(),
+                "share": stats.seconds / timed if timed > 0 else 0.0,
+            }
+        return {
+            "stages": stages,
+            "counters": dict(self.counters),
+            "timed_seconds": timed,
+            "wall_seconds": self.wall_seconds(),
+        }
+
+
+def stage_scope(perf: Optional[PerfRecorder], name: str,
+                items: int = 0) -> ContextManager[None]:
+    """``perf.stage(...)`` when a recorder is attached, else a no-op scope.
+
+    Lets instrumented hot paths stay branch-free::
+
+        with stage_scope(perf, "forward", items=batch):
+            ...
+    """
+    if perf is None:
+        return nullcontext()
+    return perf.stage(name, items=items)

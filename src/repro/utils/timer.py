@@ -34,18 +34,42 @@ class Budget:
 
     The reduced-scale experiment profiles cap optimization time so the whole
     benchmark suite stays laptop-friendly; a ``None`` limit never expires.
+
+    The clock starts *lazily* on the first :meth:`exhausted` /
+    :meth:`remaining` poll (or an explicit :meth:`start`), not at
+    construction — a budget built before data prep or rendering no longer
+    silently loses that wall-clock to setup work the budget was never
+    meant to cover.
     """
 
     def __init__(self, seconds: Optional[float] = None):
         self.seconds = seconds
-        self._start = time.perf_counter()
+        self._start: Optional[float] = None
+
+    @property
+    def started(self) -> bool:
+        return self._start is not None
+
+    def start(self) -> "Budget":
+        """Start the clock now (idempotent); returns self for chaining."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since the clock started (0.0 if it has not)."""
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
 
     def exhausted(self) -> bool:
         if self.seconds is None:
             return False
-        return (time.perf_counter() - self._start) >= self.seconds
+        self.start()
+        return self.elapsed() >= self.seconds
 
     def remaining(self) -> float:
         if self.seconds is None:
             return float("inf")
-        return max(0.0, self.seconds - (time.perf_counter() - self._start))
+        self.start()
+        return max(0.0, self.seconds - self.elapsed())

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.detection import non_max_suppression
+from repro.detection import non_max_suppression, non_max_suppression_reference
+from repro.detection import nms as nms_module
 
 
 def boxes_of(*rows):
@@ -61,3 +62,61 @@ class TestNms:
         kept = non_max_suppression(boxes, np.asarray([0.9, 0.8, 0.7]),
                                    iou_threshold=0.2)
         assert kept == [0, 2]
+
+
+def random_candidates(rng, n, n_classes=3, span=40.0):
+    """Dense random boxes with plenty of cross-box overlap."""
+    xy = rng.random((n, 2)).astype(np.float32) * span
+    wh = (rng.random((n, 2)).astype(np.float32) * 15 + 1).astype(np.float32)
+    boxes = np.concatenate([xy, xy + wh], axis=1)
+    scores = rng.random(n).astype(np.float32)
+    class_ids = rng.integers(0, n_classes, size=n)
+    return boxes, scores, class_ids
+
+
+@pytest.mark.perf
+class TestVectorizedParity:
+    """The vectorized production NMS must return exactly the indices of
+    the O(n²) pair-loop reference, in the same order."""
+
+    def test_randomized_inputs(self, rng):
+        for trial in range(25):
+            n = int(rng.integers(0, 120))
+            boxes, scores, class_ids = random_candidates(rng, n)
+            for threshold in (0.1, 0.45, 0.9):
+                kept = non_max_suppression(boxes, scores, class_ids,
+                                           iou_threshold=threshold)
+                oracle = non_max_suppression_reference(
+                    boxes, scores, class_ids, iou_threshold=threshold)
+                assert kept == oracle
+
+    def test_class_agnostic_parity(self, rng):
+        boxes, scores, _ = random_candidates(rng, 80)
+        assert (non_max_suppression(boxes, scores)
+                == non_max_suppression_reference(boxes, scores))
+
+    def test_tie_heavy_scores(self, rng):
+        """Quantized scores force ties; the stable sort must break them
+        identically in both implementations."""
+        for _ in range(10):
+            boxes, scores, class_ids = random_candidates(rng, 60)
+            scores = np.round(scores * 4) / 4  # only 5 distinct values
+            kept = non_max_suppression(boxes, scores, class_ids)
+            oracle = non_max_suppression_reference(boxes, scores, class_ids)
+            assert kept == oracle
+
+    def test_max_detections_parity(self, rng):
+        boxes, scores, class_ids = random_candidates(rng, 100)
+        for cap in (1, 5, 17):
+            assert (non_max_suppression(boxes, scores, class_ids,
+                                        max_detections=cap)
+                    == non_max_suppression_reference(boxes, scores, class_ids,
+                                                     max_detections=cap))
+
+    def test_row_fallback_path_parity(self, rng, monkeypatch):
+        """Above _FULL_MATRIX_LIMIT the per-row branch runs; shrink the
+        limit so the test exercises it cheaply."""
+        monkeypatch.setattr(nms_module, "_FULL_MATRIX_LIMIT", 4)
+        boxes, scores, class_ids = random_candidates(rng, 50)
+        assert (non_max_suppression(boxes, scores, class_ids)
+                == non_max_suppression_reference(boxes, scores, class_ids))

@@ -11,6 +11,29 @@ def tensor_of(rng, shape):
     return Tensor(rng.normal(size=shape).astype(np.float32), requires_grad=True)
 
 
+def closure_arrays(fn, seen=None):
+    """Every ndarray reachable through a function's (nested) closures."""
+    seen = set() if seen is None else seen
+    arrays = []
+    if fn is None or id(fn) in seen:
+        return arrays
+    seen.add(id(fn))
+    for cell in fn.__closure__ or ():
+        try:
+            value = cell.cell_contents
+        except ValueError:  # empty cell
+            continue
+        if isinstance(value, np.ndarray):
+            arrays.append(value)
+        elif isinstance(value, Tensor):
+            arrays.append(value.data)
+        elif isinstance(value, (tuple, list)):
+            arrays.extend(v for v in value if isinstance(v, np.ndarray))
+        elif callable(value) and hasattr(value, "__closure__"):
+            arrays.extend(closure_arrays(value, seen))
+    return arrays
+
+
 class TestConv2d:
     def test_output_shape(self, rng):
         x = tensor_of(rng, (2, 3, 8, 8))
@@ -49,6 +72,21 @@ class TestConv2d:
 
         for tensor in (x, w, b):
             np.testing.assert_allclose(tensor.grad, numgrad(f, tensor.data), atol=5e-3)
+
+    def test_backward_closure_does_not_retain_im2col_buffer(self, rng):
+        """conv2d's backward used to capture the materialized kernel²-
+        expanded im2col buffer until backward ran, pinning K²× the input
+        per conv layer. It must close over the raw inputs only and
+        recompute the window view on demand."""
+        x = tensor_of(rng, (2, 3, 16, 16))
+        w = tensor_of(rng, (4, 3, 3, 3))
+        out = F.conv2d(x, w, padding=1)
+        captured = closure_arrays(out._backward)
+        assert captured, "backward should close over its inputs"
+        cols_elements = 2 * 3 * 3 * 3 * 16 * 16  # n·c·k·k·oh·ow
+        biggest = max(array.size for array in captured)
+        assert biggest < cols_elements
+        assert biggest <= max(x.data.size, out.data.size, w.data.size)
 
 
 class TestPooling:
@@ -171,6 +209,26 @@ class TestActivations:
         x = Tensor(np.asarray([-1000.0, 1000.0], dtype=np.float32))
         out = F.sigmoid(x).data
         assert np.isfinite(out).all()
+
+    def test_sigmoid_no_overflow_under_errstate(self):
+        """The naive 1/(1+exp(-x)) overflowed for large negative logits;
+        the shared stable sigmoid must stay silent with warnings promoted
+        to errors (forward and backward)."""
+        x = Tensor(np.asarray([-1e4, -100.0, 0.0, 100.0, 1e4],
+                              dtype=np.float32), requires_grad=True)
+        with np.errstate(over="raise", under="ignore"):
+            out = F.sigmoid(x)
+            out.sum().backward()
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 0.5, 1.0, 1.0],
+                                   atol=1e-7)
+        assert np.isfinite(x.grad).all()
+
+    def test_stable_sigmoid_matches_naive_in_safe_range(self, rng):
+        x = (rng.random(200).astype(np.float32) - 0.5) * 20
+        naive = 1.0 / (1.0 + np.exp(-x.astype(np.float64)))
+        np.testing.assert_allclose(F.stable_sigmoid(x), naive,
+                                   rtol=1e-5, atol=1e-7)
+        assert F.stable_sigmoid(x).dtype == np.float32
 
     def test_tanh_gradient(self, rng):
         x = tensor_of(rng, (5,))

@@ -1,0 +1,159 @@
+"""The repro.perf instrumentation toolkit."""
+
+import contextlib
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.detection import TinyYolo, reduced_config
+from repro.nn import Tensor, no_grad
+from repro.perf import (
+    REPORT_SCHEMA_VERSION,
+    LayerProfiler,
+    PerfRecorder,
+    StageStats,
+    load_report,
+    stage_scope,
+    write_report,
+)
+
+pytestmark = pytest.mark.perf
+
+
+class TestPerfRecorder:
+    def test_stage_accumulates_time_and_items(self):
+        perf = PerfRecorder()
+        for _ in range(3):
+            with perf.stage("forward", items=4):
+                time.sleep(0.001)
+        stats = perf.stages["forward"]
+        assert stats.calls == 3
+        assert stats.items == 12
+        assert stats.seconds >= 0.003
+        assert perf.fps("forward") == pytest.approx(12 / stats.seconds)
+
+    def test_stage_records_even_on_exception(self):
+        perf = PerfRecorder()
+        with pytest.raises(RuntimeError):
+            with perf.stage("decode"):
+                raise RuntimeError("boom")
+        assert perf.stages["decode"].calls == 1
+
+    def test_counters_accumulate(self):
+        perf = PerfRecorder()
+        perf.count("frames", 8)
+        perf.count("frames", 4)
+        assert perf.counters["frames"] == 12
+
+    def test_unknown_stage_is_zero(self):
+        perf = PerfRecorder()
+        assert perf.stage_seconds("nope") == 0.0
+        assert perf.fps("nope") == 0.0
+
+    def test_merge_folds_stages_and_counters(self):
+        a, b = PerfRecorder(), PerfRecorder()
+        with a.stage("nms", items=1):
+            pass
+        with b.stage("nms", items=2):
+            pass
+        b.count("frames", 5)
+        a.merge(b)
+        assert a.stages["nms"].calls == 2
+        assert a.stages["nms"].items == 3
+        assert a.counters["frames"] == 5
+
+    def test_report_shares_sum_to_one(self):
+        perf = PerfRecorder()
+        with perf.stage("forward"):
+            time.sleep(0.001)
+        with perf.stage("nms"):
+            time.sleep(0.001)
+        report = perf.report()
+        assert set(report["stages"]) == {"forward", "nms"}
+        assert sum(s["share"] for s in report["stages"].values()) == pytest.approx(1.0)
+        assert report["timed_seconds"] <= report["wall_seconds"]
+        json.dumps(report)  # JSON-ready
+
+    def test_items_per_second_zero_without_items(self):
+        stats = StageStats()
+        assert stats.items_per_second() == 0.0
+
+
+class TestStageScope:
+    def test_none_recorder_is_noop(self):
+        scope = stage_scope(None, "forward")
+        assert isinstance(scope, contextlib.nullcontext)
+
+    def test_recorder_scope_times(self):
+        perf = PerfRecorder()
+        with stage_scope(perf, "forward", items=2):
+            pass
+        assert perf.stages["forward"].items == 2
+
+
+class TestLayerProfiler:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TinyYolo(reduced_config(input_size=32, width_multiplier=0.25),
+                        seed=0)
+
+    def test_profiles_layers_and_detaches_cleanly(self, model, rng):
+        image = Tensor(rng.random((1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            baseline = model(image)
+        profiler = LayerProfiler(model)
+        with profiler, no_grad():
+            profiled = model(image)
+        # Profiling must not perturb the numerics.
+        np.testing.assert_array_equal(baseline[0].data, profiled[0].data)
+        table = profiler.table()
+        assert table, "expected per-layer rows"
+        assert all(seconds >= 0 and calls >= 1 for _, seconds, calls in table)
+        # Slowest-first ordering.
+        seconds = [row[1] for row in table]
+        assert seconds == sorted(seconds, reverse=True)
+        # Detach removed every shim: forward is the class attribute again.
+        for _, module in LayerProfiler._named_modules(model):
+            assert "forward" not in module.__dict__
+
+    def test_attach_is_idempotent(self, model):
+        profiler = LayerProfiler(model).attach()
+        wrapped = len(profiler._wrapped)
+        profiler.attach()
+        assert len(profiler._wrapped) == wrapped
+        profiler.detach()
+
+
+class TestReportIo:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        document = write_report(path, {"batched_fps": 123.0})
+        assert document["schema_version"] == REPORT_SCHEMA_VERSION
+        loaded = load_report(path)
+        assert loaded["batched_fps"] == 123.0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        path2 = str(tmp_path / "BENCH_bad.json")
+        with open(path, "w") as handle:
+            json.dump({"schema_version": 999}, handle)
+        with pytest.raises(ValueError, match="schema_version"):
+            load_report(path)
+        with open(path2, "w") as handle:
+            json.dump({}, handle)
+        with pytest.raises(ValueError):
+            load_report(path2)
+
+    def test_version_check_can_be_skipped(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        with open(path, "w") as handle:
+            json.dump({"schema_version": 999, "x": 1}, handle)
+        assert load_report(path, expected_version=None)["x"] == 1
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        write_report(path, {"a": 1})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

@@ -1,5 +1,7 @@
 """Utilities: RNG derivation, image I/O, drawing, logging, timers."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -172,3 +174,32 @@ class TestLoggingTimers:
         budget = Budget(0.0)
         assert budget.exhausted()
         assert budget.remaining() == 0.0
+
+    def test_budget_clock_starts_at_first_poll_not_construction(self):
+        budget = Budget(0.02)
+        assert not budget.started
+        time.sleep(0.05)  # setup work the budget must not count
+        assert not budget.exhausted()  # first poll starts the clock
+        assert budget.started
+        time.sleep(0.05)
+        assert budget.exhausted()
+
+    def test_budget_explicit_start_counts_from_there(self):
+        budget = Budget(0.02).start()
+        assert budget.started
+        time.sleep(0.05)
+        assert budget.exhausted()
+
+    def test_budget_start_is_idempotent(self):
+        budget = Budget(10.0)
+        assert budget.elapsed() == 0.0
+        assert budget.start() is budget
+        time.sleep(0.02)
+        budget.start()  # must not rewind the clock
+        assert budget.elapsed() >= 0.02
+
+    def test_unlimited_budget_never_starts_clock(self):
+        budget = Budget(None)
+        assert not budget.exhausted()
+        assert budget.remaining() == float("inf")
+        assert not budget.started
