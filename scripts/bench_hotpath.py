@@ -28,6 +28,7 @@ import argparse
 import os
 import sys
 import time
+import uuid
 
 import numpy as np
 
@@ -35,12 +36,54 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.av import AvPipeline  # noqa: E402
 from repro.detection import TinyYolo, reduced_config  # noqa: E402
+from repro.obs import (  # noqa: E402
+    MANIFEST_SCHEMA_VERSION,
+    Run,
+    append_jsonl,
+    config_digest,
+    host_info,
+)
 from repro.perf import LayerProfiler, PerfRecorder, load_report, write_report  # noqa: E402
 
 DEFAULT_REPORT = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
+DEFAULT_HISTORY = os.path.join(os.path.dirname(__file__), "..", "BENCH_history.jsonl")
 #: --check fails when batched frames/sec drops below this share of the
 #: committed number.
 REGRESSION_TOLERANCE = 0.20
+
+
+def bench_config(args: argparse.Namespace) -> dict:
+    """The benchmark-relevant subset of the CLI flags.
+
+    Used for both the report payload and the :class:`repro.obs.Run`
+    identity, so the digest in `BENCH_history.jsonl` and the digest in
+    the run manifest agree for one invocation (output paths and other
+    non-semantic flags are excluded on purpose).
+    """
+    return {
+        "frames": args.frames,
+        "batch_size": args.batch_size,
+        "input_size": args.input_size,
+        "width_multiplier": args.width,
+        "conf_threshold": args.conf_threshold,
+        "seed": args.seed,
+    }
+
+
+def bench_manifest(config: dict, run_id: str) -> dict:
+    """Provenance stamp for one benchmark run (DESIGN.md §9).
+
+    Same fields a :class:`repro.obs.Run` manifest leads with — run id,
+    config digest, seeds, host — so `BENCH_hotpath.json` numbers can be
+    attributed and compared across machines and commits.
+    """
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "run_id": run_id,
+        "config_digest": config_digest(config),
+        "seeds": {"video": config["seed"], "detector": config["seed"]},
+        "host": host_info(),
+    }
 
 
 def build_pipeline(args: argparse.Namespace) -> AvPipeline:
@@ -90,7 +133,7 @@ def traces_equal(reference, batched, atol: float = 1e-3) -> bool:
     return True
 
 
-def run_benchmark(args: argparse.Namespace) -> dict:
+def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
     pipeline = build_pipeline(args)
     frames = make_video(args)
 
@@ -105,7 +148,8 @@ def run_benchmark(args: argparse.Namespace) -> dict:
 
     perf = PerfRecorder()
     start = time.perf_counter()
-    batched_traces = pipeline.run(frames, batch_size=args.batch_size, perf=perf)
+    batched_traces = pipeline.run(frames, batch_size=args.batch_size, perf=perf,
+                                  obs=obs)
     batched_seconds = time.perf_counter() - start
     batched_fps = len(frames) / batched_seconds
 
@@ -116,16 +160,12 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             "reference — refusing to report a speedup for different "
             "semantics")
 
+    config = bench_config(args)
+    run_id = obs.run_id if obs is not None else f"bench-{uuid.uuid4().hex[:12]}"
     payload = {
         "benchmark": "av_pipeline_hotpath",
-        "config": {
-            "frames": args.frames,
-            "batch_size": args.batch_size,
-            "input_size": args.input_size,
-            "width_multiplier": args.width,
-            "conf_threshold": args.conf_threshold,
-            "seed": args.seed,
-        },
+        "config": config,
+        "manifest": bench_manifest(config, run_id),
         "per_frame_fps": round(per_frame_fps, 2),
         "batched_fps": round(batched_fps, 2),
         "speedup": round(batched_fps / per_frame_fps, 3),
@@ -168,6 +208,12 @@ def main(argv=None) -> int:
                         help="low threshold so NMS/confirmation see real work")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default=DEFAULT_REPORT)
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        help="append-only JSONL perf trajectory "
+                             "(empty string disables)")
+    parser.add_argument("--obs-dir", default=None,
+                        help="also record a repro.obs run (manifest.json + "
+                             "trace.jsonl) under this directory")
     parser.add_argument("--layers", action="store_true",
                         help="include a per-layer TinyYolo timing table")
     parser.add_argument("--check", action="store_true",
@@ -175,7 +221,12 @@ def main(argv=None) -> int:
                              "of overwriting it; exit 1 on >20%% regression")
     args = parser.parse_args(argv)
 
-    payload = run_benchmark(args)
+    if args.obs_dir:
+        with Run(args.obs_dir, name="bench_hotpath",
+                 config=bench_config(args), seeds={"seed": args.seed}) as obs:
+            payload = run_benchmark(args, obs=obs)
+    else:
+        payload = run_benchmark(args)
     print(f"per-frame: {payload['per_frame_fps']:.2f} fps   "
           f"batched(x{args.batch_size}): {payload['batched_fps']:.2f} fps   "
           f"speedup: {payload['speedup']:.2f}x   "
@@ -184,11 +235,27 @@ def main(argv=None) -> int:
         print(f"  {name:>8}: {stage['seconds']*1e3:8.1f} ms  "
               f"({stage['share']:5.1%})  {stage['calls']} calls")
 
+    status = 0
     if args.check:
-        return check_regression(args.output, payload)
-    write_report(args.output, payload)
-    print(f"wrote {os.path.abspath(args.output)}")
-    return 0
+        status = check_regression(args.output, payload)
+    else:
+        write_report(args.output, payload)
+        print(f"wrote {os.path.abspath(args.output)}")
+    if args.history:
+        # The append-only trajectory: one line per invocation (including
+        # --check gates), so the fps history is machine-readable instead
+        # of a single overwritten file.
+        append_jsonl(args.history, {
+            "unix_time": time.time(),
+            "mode": "check" if args.check else "write",
+            "status": status,
+            "run_id": payload["manifest"]["run_id"],
+            "config_digest": payload["manifest"]["config_digest"],
+            "per_frame_fps": payload["per_frame_fps"],
+            "batched_fps": payload["batched_fps"],
+            "speedup": payload["speedup"],
+        })
+    return status
 
 
 if __name__ == "__main__":

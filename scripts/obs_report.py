@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Render and diff run telemetry produced by :mod:`repro.obs`.
+
+A run directory holds the ``manifest.json`` / ``trace.jsonl`` pair an
+active :class:`repro.obs.Run` writes. This CLI renders the per-stage
+latency/throughput span tree for each run given, and with ``--diff``
+compares exactly two runs: Δ wall-clock per span path, Δ metric values
+(zero across counters/gauges for a same-seed re-run), exit status, and
+recovery events.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_report.py RUN_DIR [RUN_DIR ...]
+    PYTHONPATH=src python scripts/obs_report.py --diff RUN_A RUN_B
+    PYTHONPATH=src python scripts/obs_report.py --diff --json RUN_A RUN_B
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import diff_runs, load_run, render_diff, render_run  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("runs", nargs="+",
+                        help="run directories (or manifest.json paths)")
+    parser.add_argument("--diff", action="store_true",
+                        help="compare exactly two runs instead of rendering each")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    args = parser.parse_args(argv)
+
+    try:
+        loaded = [load_run(path) for path in args.runs]
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if args.diff:
+        if len(loaded) != 2:
+            print("error: --diff needs exactly two runs", file=sys.stderr)
+            return 2
+        diff = diff_runs(loaded[0], loaded[1])
+        if args.json:
+            json.dump(diff, sys.stdout, indent=2, sort_keys=True, default=repr)
+            print()
+        else:
+            print(render_diff(diff))
+        return 0
+
+    for index, run in enumerate(loaded):
+        if index:
+            print()
+        if args.json:
+            json.dump({"manifest": run.manifest,
+                       "spans": [s.to_json() for s in run.spans]},
+                      sys.stdout, indent=2, sort_keys=True, default=repr)
+            print()
+        else:
+            print(render_run(run))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; that is not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

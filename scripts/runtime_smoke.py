@@ -43,7 +43,9 @@ def _build_run(checkpoint_path: str):
     config = AttackConfig(steps=ATTACK_STEPS, warmup_steps=2, batch_frames=6,
                           frame_pool=6, gan_batch=4, k=20)
     runtime = RuntimeConfig(checkpoint_path=checkpoint_path, checkpoint_interval=1)
-    log = TrainLog("smoke")
+    # echo=True: TrainLog flushes the stream after every line, so the
+    # SIGKILLed child still leaves every step it reached on stdout.
+    log = TrainLog("smoke", echo=True)
     return lambda: train_patch_attack(model, scenario, config, log=log,
                                       runtime=runtime), log
 

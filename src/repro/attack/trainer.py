@@ -40,6 +40,7 @@ from ..gan.losses import discriminator_loss, generator_adversarial_loss
 from ..gan.trainer import GanTrainConfig, train_gan
 from ..nn import Adam, Tensor, clip_grad_norm, concatenate
 from ..nn import functional as F
+from ..obs import Run, span_scope
 from ..patch.apply import apply_patches
 from ..patch.mask import hard_background_mask, soft_background_mask
 from ..patch.placement import patch_world_size, placement_offsets
@@ -259,6 +260,7 @@ def train_patch_attack(
     config: Optional[AttackConfig] = None,
     log: Optional[TrainLog] = None,
     runtime: Optional[RuntimeConfig] = None,
+    obs: Optional[Run] = None,
 ) -> AttackResult:
     """Train the paper's decal attack against a frozen detector.
 
@@ -273,9 +275,16 @@ def train_patch_attack(
     exploding gradient rolls the run back to the last good snapshot, cuts
     the learning rate, reseeds the batch stream and retries (bounded),
     instead of aborting with ``FloatingPointError``.
+
+    ``obs`` attaches the whole attack to a run (DESIGN.md §9): an
+    ``attack.train`` span with warm-up / frame-pool / step-loop children,
+    loss gauges from the log, and guard/recovery counters, so one trace
+    covers GAN warm-up through the final patch. ``obs=None`` is free.
     """
     config = config or AttackConfig()
     log = log or TrainLog("attack")
+    if obs is not None:
+        log.bind_metrics(obs.metrics, prefix="attack")
     if config.target_class not in CLASS_NAMES:
         raise ValueError(f"unknown target class {config.target_class!r}")
     target_label = CLASS_NAMES.index(config.target_class)
@@ -295,9 +304,12 @@ def train_patch_attack(
     for param in detector_params:
         param.requires_grad = False
     try:
-        return _train_with_frozen_detector(
-            model, scenario, config, log, rng, target_label, runtime
-        )
+        with span_scope(obs, "attack.train", steps=config.steps,
+                        seed=config.seed, target=config.target_class,
+                        n_patches=config.n_patches):
+            return _train_with_frozen_detector(
+                model, scenario, config, log, rng, target_label, runtime, obs
+            )
     finally:
         for param, state in zip(detector_params, frozen_state):
             param.requires_grad = state
@@ -311,10 +323,12 @@ def _train_with_frozen_detector(
     rng: np.random.Generator,
     target_label: int,
     runtime: Optional[RuntimeConfig] = None,
+    obs: Optional[Run] = None,
 ) -> AttackResult:
     runtime = runtime or RuntimeConfig()
     manager = runtime.manager()
-    guard = DivergenceGuard(runtime.guard)
+    guard = DivergenceGuard(runtime.guard,
+                            metrics=obs.metrics if obs is not None else None)
     generator = PatchGenerator(config.k, latent_dim=config.latent_dim,
                                seed=derive_seed(config.seed, "gen"))
     discriminator = PatchDiscriminator(config.k, seed=derive_seed(config.seed, "disc"))
@@ -325,17 +339,19 @@ def _train_with_frozen_detector(
 
     # Phase 1: warm-up so G starts on the shape manifold.
     if resumed is None and config.warmup_steps > 0:
-        train_gan(
-            generator,
-            discriminator,
-            config.shape,
-            GanTrainConfig(
-                steps=config.warmup_steps,
-                batch_size=config.gan_batch,
-                learning_rate=config.learning_rate,
-                seed=derive_seed(config.seed, "warmup"),
-            ),
-        )
+        with span_scope(obs, "attack.warmup", steps=config.warmup_steps):
+            train_gan(
+                generator,
+                discriminator,
+                config.shape,
+                GanTrainConfig(
+                    steps=config.warmup_steps,
+                    batch_size=config.gan_batch,
+                    learning_rate=config.learning_rate,
+                    seed=derive_seed(config.seed, "warmup"),
+                ),
+                obs=obs,
+            )
 
     # Pre-render the training-frame pool (the paper's scene photographs).
     world_size = patch_world_size(
@@ -344,16 +360,17 @@ def _train_with_frozen_detector(
         constant_total_area=config.constant_total_area,
     )
     offsets = placement_offsets(config.n_patches)
-    pool = sample_training_frames(
-        scenario,
-        np.random.default_rng(derive_seed(config.seed, "frames")),
-        config.frame_pool,
-        offsets,
-        world_size,
-        consecutive=config.consecutive,
-        group=config.group,
-        style_seeds=config.universal_styles or None,
-    )
+    with span_scope(obs, "attack.frame_pool", frames=config.frame_pool):
+        pool = sample_training_frames(
+            scenario,
+            np.random.default_rng(derive_seed(config.seed, "frames")),
+            config.frame_pool,
+            offsets,
+            world_size,
+            consecutive=config.consecutive,
+            group=config.group,
+            style_seeds=config.universal_styles or None,
+        )
 
     pipeline = EOTPipeline.with_tricks(config.tricks)
     g_optimizer = Adam(generator.parameters(), lr=config.learning_rate)
@@ -440,6 +457,9 @@ def _train_with_frozen_detector(
             g_grad_norm = clip_grad_norm(generator.parameters(), config.grad_clip)
             guard.check(step, g_grad_norm=g_grad_norm)
             g_optimizer.step()
+            if obs is not None:
+                obs.metrics.counter("attack.steps_run").inc()
+                obs.metrics.counter("attack.frames_composited").inc(len(frames))
 
             if step % 10 == 0 or step == config.steps - 1:
                 log.log(step, d_loss=float(d_loss.data), adv=float(adv.data),
@@ -467,11 +487,13 @@ def _train_with_frozen_detector(
                   attempt=attempt_index, lr=g_optimizer.lr,
                   rollback_step=checkpoint.step)
 
-    run_with_recovery(
-        lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
-        runtime.retry_policy(),
-        on_divergence,
-    )
+    with span_scope(obs, "attack.steps", steps=config.steps,
+                    start_step=start_step):
+        run_with_recovery(
+            lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
+            runtime.retry_policy(),
+            on_divergence,
+        )
     if not runtime.keep_checkpoint:
         manager.delete()
 

@@ -17,6 +17,7 @@ import numpy as np
 from ..detection.decode import Detection, batched_detections, detections_from_outputs
 from ..detection.model import TinyYolo
 from ..nn import Tensor, no_grad
+from ..obs import Run, span_scope
 from ..perf import PerfRecorder, stage_scope
 from ..runtime import FaultSchedule
 from .confirmation import ConfirmedObject, DetectionConfirmer
@@ -93,7 +94,8 @@ class AvPipeline:
             faults: Optional[FaultSchedule] = None,
             rng: Optional[np.random.Generator] = None,
             batch_size: int = DEFAULT_BATCH_SIZE,
-            perf: Optional[PerfRecorder] = None) -> List[FrameTrace]:
+            perf: Optional[PerfRecorder] = None,
+            obs: Optional[Run] = None) -> List[FrameTrace]:
         """Process a whole video (resets state first).
 
         ``faults`` degrades the stream first — dropped frames reach the
@@ -107,28 +109,47 @@ class AvPipeline:
         :meth:`step` loop (parity-tested), just measured faster.
         ``batch_size=1`` recovers one forward pass per frame. ``perf``
         collects per-stage timings (forward / decode / nms / confirm).
+
+        ``obs`` attaches the run to a telemetry run (DESIGN.md §9): one
+        ``pipeline.run`` span with a ``detect.batched`` child, plus
+        per-stage timings published into the run's metrics registry (a
+        private recorder is created when ``perf`` is not given).
         """
         self.reset()
-        stream: Sequence[Optional[np.ndarray]] = list(frames)
-        if faults is not None:
-            stream = faults.degrade_stream(stream, rng)
-        per_frame = batched_detections(
-            self.detector, stream, conf_threshold=self.conf_threshold,
-            batch_size=batch_size, perf=perf,
-        )
-        traces: List[FrameTrace] = []
-        with stage_scope(perf, "confirm", items=len(stream)):
-            for detections in per_frame:
-                if detections is None:
-                    confirmed = self.confirmer.update(None, sensor_fault=True)
+        local_perf = perf
+        if obs is not None and local_perf is None:
+            local_perf = PerfRecorder()
+        with span_scope(obs, "pipeline.run", batch_size=batch_size,
+                        faults=faults is not None):
+            stream: Sequence[Optional[np.ndarray]] = list(frames)
+            if faults is not None:
+                stream = faults.degrade_stream(stream, rng)
+            if obs is not None:
+                obs.tracer.add("items", len(stream))
+            per_frame = batched_detections(
+                self.detector, stream, conf_threshold=self.conf_threshold,
+                batch_size=batch_size, perf=local_perf, obs=obs,
+            )
+            traces: List[FrameTrace] = []
+            with stage_scope(local_perf, "confirm", items=len(stream)):
+                for detections in per_frame:
+                    if detections is None:
+                        confirmed = self.confirmer.update(None, sensor_fault=True)
+                        decision = self.planner.decide(confirmed)
+                        traces.append(FrameTrace(detections=[], confirmed=confirmed,
+                                                 decision=decision, sensor_fault=True))
+                        continue
+                    confirmed = self.confirmer.update(detections)
                     decision = self.planner.decide(confirmed)
-                    traces.append(FrameTrace(detections=[], confirmed=confirmed,
-                                             decision=decision, sensor_fault=True))
-                    continue
-                confirmed = self.confirmer.update(detections)
-                decision = self.planner.decide(confirmed)
-                traces.append(FrameTrace(detections=detections,
-                                         confirmed=confirmed, decision=decision))
+                    traces.append(FrameTrace(detections=detections,
+                                             confirmed=confirmed, decision=decision))
+        if obs is not None:
+            # Publish the private recorder only: a caller-owned recorder may
+            # accumulate across videos and would double-count on re-publish.
+            if perf is None:
+                local_perf.publish(obs.metrics, prefix="perf.pipeline")
+            obs.metrics.counter("pipeline.frames").inc(len(stream))
+            obs.metrics.counter("pipeline.runs").inc()
         return traces
 
     # ------------------------------------------------------------------

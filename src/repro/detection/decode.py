@@ -20,6 +20,7 @@ from ..nn import Tensor, no_grad
 from ..nn import functional as F
 from ..nn.functional import stable_sigmoid
 from ..nn.tensor import concatenate
+from ..obs import Run, span_scope
 from ..perf import PerfRecorder, stage_scope
 from .boxes import xywh_to_xyxy
 from .config import TinyYoloConfig
@@ -220,6 +221,7 @@ def batched_detections(
     max_detections: int = 50,
     batch_size: int = 8,
     perf: Optional[PerfRecorder] = None,
+    obs: Optional[Run] = None,
 ) -> List[Optional[List[Detection]]]:
     """Detect over a frame stream, forwarding frames in batches.
 
@@ -229,24 +231,35 @@ def batched_detections(
     non-dropped frames are stacked into batches of up to ``batch_size``
     and pushed through ``model`` in one forward pass each, which is what
     makes frame-rate-scale evaluation affordable (DESIGN.md §8).
+
+    ``obs`` records one ``detect.batched`` span per call (child of
+    whatever span is open — a pipeline run, an eval challenge) carrying
+    frame/drop counters; ``obs=None`` is free (DESIGN.md §9).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     results: List[Optional[List[Detection]]] = [None] * len(images)
     live = [(index, image) for index, image in enumerate(images)
             if image is not None]
-    for start in range(0, len(live), batch_size):
-        chunk = live[start:start + batch_size]
-        stacked = np.stack([image for _, image in chunk])
-        with no_grad(), stage_scope(perf, "forward", items=len(chunk)):
-            outputs = model(Tensor(stacked))
-        per_image = detections_from_outputs(
-            outputs, model.config, conf_threshold=conf_threshold,
-            iou_threshold=iou_threshold, max_detections=max_detections,
-            perf=perf,
-        )
-        for (index, _), detections in zip(chunk, per_image):
-            results[index] = detections
+    with span_scope(obs, "detect.batched", batch_size=batch_size):
+        if obs is not None:
+            obs.tracer.add("items", len(live))
+            obs.tracer.add("dropped", len(images) - len(live))
+        for start in range(0, len(live), batch_size):
+            chunk = live[start:start + batch_size]
+            stacked = np.stack([image for _, image in chunk])
+            with no_grad(), stage_scope(perf, "forward", items=len(chunk)):
+                outputs = model(Tensor(stacked))
+            per_image = detections_from_outputs(
+                outputs, model.config, conf_threshold=conf_threshold,
+                iou_threshold=iou_threshold, max_detections=max_detections,
+                perf=perf,
+            )
+            for (index, _), detections in zip(chunk, per_image):
+                results[index] = detections
+    if obs is not None:
+        obs.metrics.counter("detect.frames").inc(len(images))
+        obs.metrics.counter("detect.dropped_frames").inc(len(images) - len(live))
     if perf is not None:
         perf.count("frames", len(images))
         perf.count("dropped_frames", len(images) - len(live))

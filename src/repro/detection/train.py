@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn import Adam, Tensor, clip_grad_norm
+from ..obs import Run, span_scope
 from ..runtime import (
     DivergenceGuard,
     RuntimeConfig,
@@ -81,19 +82,27 @@ def train_detector(
     config: Optional[DetectorTrainConfig] = None,
     log: Optional[TrainLog] = None,
     runtime: Optional[RuntimeConfig] = None,
+    obs: Optional[Run] = None,
 ) -> TrainLog:
     """Train ``model`` in place on ``samples`` (CHW float images + truths).
 
     Returns the training log; the final record's ``loss`` is the last batch
     loss, useful for convergence assertions in tests.
+
+    ``obs`` attaches the loop to a run (DESIGN.md §9): a ``detector.train``
+    span, loss gauges from the log, and guard/recovery counters all land
+    in the run's trace and metrics registry. ``obs=None`` is free.
     """
     config = config or DetectorTrainConfig()
     log = log or TrainLog("detector")
     runtime = runtime or RuntimeConfig()
     if not samples:
         raise ValueError("no training samples")
+    if obs is not None:
+        log.bind_metrics(obs.metrics, prefix="detector")
     manager = runtime.manager()
-    guard = DivergenceGuard(runtime.guard)
+    guard = DivergenceGuard(runtime.guard,
+                            metrics=obs.metrics if obs is not None else None)
     rng = np.random.default_rng(config.seed)
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     budget = Budget(config.time_budget_seconds)
@@ -150,6 +159,9 @@ def train_detector(
                 grad_norm = clip_grad_norm(model.parameters(), config.grad_clip)
                 guard.check(step, grad_norm=grad_norm)
                 optimizer.step()
+                if obs is not None:
+                    obs.metrics.counter("detector.steps_run").inc()
+                    obs.metrics.counter("detector.samples_seen").inc(len(truths))
                 if step % config.log_every == 0:
                     log.log(
                         step,
@@ -192,7 +204,9 @@ def train_detector(
             checkpoint = last_good[0]
             run_epochs(checkpoint.step, int(checkpoint.scalars["global_step"]))
 
-    run_with_recovery(attempt, runtime.retry_policy(), on_divergence)
+    with span_scope(obs, "detector.train", epochs=config.epochs,
+                    samples=len(samples), seed=config.seed):
+        run_with_recovery(attempt, runtime.retry_policy(), on_divergence)
     if not runtime.keep_checkpoint:
         manager.delete()
     model.eval()

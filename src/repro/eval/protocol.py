@@ -26,6 +26,7 @@ import numpy as np
 from ..detection.config import CLASS_NAMES
 from ..detection.decode import batched_detections
 from ..detection.model import TinyYolo
+from ..obs import Run, span_scope
 from ..perf import PerfRecorder
 from ..runtime import FaultSchedule
 from ..scene.trajectory import CHALLENGES, challenge_trajectory
@@ -102,6 +103,7 @@ def run_challenge(
     max_coast: int = DEFAULT_MAX_COAST,
     batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
     perf: Optional[PerfRecorder] = None,
+    obs: Optional[Run] = None,
 ) -> ChallengeResult:
     """Evaluate one challenge, averaging PWC over ``n_runs`` seeded runs.
 
@@ -114,6 +116,11 @@ def run_challenge(
     (the degradation draws and the per-frame coasting walk stay in strict
     stream order, so outcomes match the historical frame-by-frame loop);
     ``perf`` collects per-stage hot-path timings across all runs.
+
+    ``obs`` attaches the challenge to a telemetry run (DESIGN.md §9): an
+    ``eval.challenge`` span with per-run render/detect/score children,
+    PWC gauges, and hot-path timings published into the run's metrics
+    registry. ``obs=None`` is free.
     """
     if challenge not in CHALLENGES:
         raise KeyError(f"unknown challenge {challenge!r}")
@@ -131,55 +138,66 @@ def run_challenge(
     was_training = model.training
     model.eval()
 
+    local_perf = perf
+    if obs is not None and local_perf is None:
+        local_perf = PerfRecorder()
+
     try:
-        runs: List[VideoResult] = []
-        for run_index in range(n_runs):
-            rng = np.random.default_rng(derive_seed(seed, "eval", challenge, run_index))
-            decals: Optional[DeployedDecals] = None
-            if artifact is not None:
-                decals = artifact.deploy(physical=physical, rng=rng)
-            frames = render_run(scenario, poses, rng, decals=decals, physical=physical)
+        with span_scope(obs, "eval.challenge", challenge=challenge,
+                        physical=physical, n_runs=n_runs, seed=seed):
+            runs: List[VideoResult] = []
+            for run_index in range(n_runs):
+                rng = np.random.default_rng(derive_seed(seed, "eval", challenge, run_index))
+                with span_scope(obs, "eval.render", run_index=run_index):
+                    decals: Optional[DeployedDecals] = None
+                    if artifact is not None:
+                        decals = artifact.deploy(physical=physical, rng=rng)
+                    frames = render_run(scenario, poses, rng, decals=decals,
+                                        physical=physical)
+                    if obs is not None:
+                        obs.tracer.add("items", len(frames))
 
-            fault_events = None
-            fault_rng = None
-            if faults is not None:
-                fault_rng = np.random.default_rng(
-                    derive_seed(seed, "faults", challenge, run_index))
-                fault_events = faults.sample(len(frames), fault_rng)
+                fault_events = None
+                fault_rng = None
+                if faults is not None:
+                    fault_rng = np.random.default_rng(
+                        derive_seed(seed, "faults", challenge, run_index))
+                    fault_events = faults.sample(len(frames), fault_rng)
 
-            # Degrade the stream in strict frame order first (the fault RNG is
-            # consumed per frame, so ordering is part of reproducibility), then
-            # batch all surviving frames through the detector.
-            images: List[Optional[np.ndarray]] = []
-            for index, frame in enumerate(frames):
-                image = frame.image
-                if fault_events is not None:
-                    image = faults.apply(image, fault_events[index], fault_rng)
-                images.append(image)
-            detections_per_frame = batched_detections(
-                model, images, conf_threshold=conf_threshold,
-                batch_size=batch_size, perf=perf,
-            )
+                # Degrade the stream in strict frame order first (the fault RNG is
+                # consumed per frame, so ordering is part of reproducibility), then
+                # batch all surviving frames through the detector.
+                images: List[Optional[np.ndarray]] = []
+                for index, frame in enumerate(frames):
+                    image = frame.image
+                    if fault_events is not None:
+                        image = faults.apply(image, fault_events[index], fault_rng)
+                    images.append(image)
+                detections_per_frame = batched_detections(
+                    model, images, conf_threshold=conf_threshold,
+                    batch_size=batch_size, perf=local_perf, obs=obs,
+                )
 
-            outcomes: List[FrameOutcome] = []
-            last_seen: Optional[FrameOutcome] = None
-            coast_run = 0
-            for frame, detections in zip(frames, detections_per_frame):
-                if detections is None:
-                    # Dropped frame: coast on the last observation for a
-                    # bounded gap, then concede the victim as missed.
-                    if last_seen is not None and coast_run < max_coast:
-                        coast_run += 1
-                        outcomes.append(replace(last_seen, coasted=True))
-                    else:
-                        outcomes.append(FrameOutcome(predicted_class=None,
-                                                     coasted=True))
-                    continue
-                coast_run = 0
-                outcome = classify_frame(detections, frame.target_box_xywh)
-                last_seen = outcome
-                outcomes.append(outcome)
-            runs.append(score_video(outcomes, target_label))
+                with span_scope(obs, "eval.score", run_index=run_index):
+                    outcomes: List[FrameOutcome] = []
+                    last_seen: Optional[FrameOutcome] = None
+                    coast_run = 0
+                    for frame, detections in zip(frames, detections_per_frame):
+                        if detections is None:
+                            # Dropped frame: coast on the last observation for a
+                            # bounded gap, then concede the victim as missed.
+                            if last_seen is not None and coast_run < max_coast:
+                                coast_run += 1
+                                outcomes.append(replace(last_seen, coasted=True))
+                            else:
+                                outcomes.append(FrameOutcome(predicted_class=None,
+                                                             coasted=True))
+                            continue
+                        coast_run = 0
+                        outcome = classify_frame(detections, frame.target_box_xywh)
+                        last_seen = outcome
+                        outcomes.append(outcome)
+                    runs.append(score_video(outcomes, target_label))
 
     finally:
         if was_training:
@@ -187,6 +205,15 @@ def run_challenge(
 
     mean_pwc = float(np.mean([r.pwc for r in runs]))
     majority_cwc = sum(r.cwc for r in runs) * 2 > len(runs)
+    if obs is not None:
+        obs.metrics.gauge(f"eval.{challenge}.pwc").set(mean_pwc)
+        obs.metrics.gauge(f"eval.{challenge}.cwc").set(float(majority_cwc))
+        obs.metrics.counter("eval.challenges_run").inc()
+        obs.metrics.counter("eval.videos_scored").inc(len(runs))
+        # Publish the private recorder only: a caller-owned one may span
+        # several challenges and would double-count on re-publish.
+        if perf is None:
+            local_perf.publish(obs.metrics, prefix="perf.eval")
     return ChallengeResult(challenge=challenge, pwc=mean_pwc, cwc=majority_cwc, runs=runs)
 
 
@@ -202,6 +229,7 @@ def evaluate_challenges(
     faults: Optional[FaultSchedule] = None,
     batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
     perf: Optional[PerfRecorder] = None,
+    obs: Optional[Run] = None,
 ) -> Dict[str, ChallengeResult]:
     """Run a set of challenges; returns challenge → result."""
     return {
@@ -209,7 +237,7 @@ def evaluate_challenges(
             model, scenario, challenge, artifact=artifact,
             target_class=target_class, physical=physical,
             n_runs=n_runs, seed=seed, faults=faults,
-            batch_size=batch_size, perf=perf,
+            batch_size=batch_size, perf=perf, obs=obs,
         )
         for challenge in challenges
     }

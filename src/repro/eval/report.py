@@ -28,10 +28,28 @@ CHALLENGE_TITLES = {
 
 def format_row(label: str, results: Mapping[str, ChallengeResult],
                challenges: Sequence[str], width: int = 12) -> str:
+    """One table row; any cell that cannot render cleanly degrades to ``-``.
+
+    A missing challenge, a result object without a usable ``cell()``, or a
+    rendered cell wider than ``width`` all become ``-`` — a dash in an
+    aligned table beats a misaligned table (the sink file in
+    :func:`format_table` is diffed across runs, so alignment is load-bearing).
+    """
     cells = []
     for challenge in challenges:
-        result = results.get(challenge)
-        cells.append(result.cell() if result is not None else "-")
+        try:
+            result = results.get(challenge)
+        except (AttributeError, TypeError):
+            result = None
+        cell = "-"
+        if result is not None:
+            try:
+                cell = str(result.cell())
+            except (AttributeError, TypeError, ValueError):
+                cell = "-"
+            if len(cell) > width:
+                cell = "-"
+        cells.append(cell)
     return f"{label:<28s} | " + " | ".join(f"{cell:>{width}}" for cell in cells)
 
 

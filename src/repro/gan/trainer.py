@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..nn import Adam, Tensor, clip_grad_norm
+from ..obs import Run, span_scope
 from ..patch.shapes import sample_batch
 from ..runtime import (
     DivergenceGuard,
@@ -61,13 +62,22 @@ def train_gan(
     config: Optional[GanTrainConfig] = None,
     log: Optional[TrainLog] = None,
     runtime: Optional[RuntimeConfig] = None,
+    obs: Optional[Run] = None,
 ) -> TrainLog:
-    """Adversarially train G/D on one shape class in place."""
+    """Adversarially train G/D on one shape class in place.
+
+    ``obs`` attaches the loop to a run (DESIGN.md §9): a ``gan.train``
+    span, loss/grad gauges from the log, and guard/recovery counters all
+    land in the run's trace and metrics registry. ``obs=None`` is free.
+    """
     config = config or GanTrainConfig()
     log = log or TrainLog("gan")
     runtime = runtime or RuntimeConfig()
+    if obs is not None:
+        log.bind_metrics(obs.metrics, prefix="gan")
     manager = runtime.manager()
-    guard = DivergenceGuard(runtime.guard)
+    guard = DivergenceGuard(runtime.guard,
+                            metrics=obs.metrics if obs is not None else None)
     rng = np.random.default_rng(config.seed)
     g_optimizer = Adam(generator.parameters(), lr=config.learning_rate)
     d_optimizer = Adam(discriminator.parameters(), lr=config.learning_rate)
@@ -139,6 +149,8 @@ def train_gan(
             g_grad_norm = clip_grad_norm(generator.parameters(), config.grad_clip)
             guard.check(step, g_grad_norm=g_grad_norm)
             g_optimizer.step()
+            if obs is not None:
+                obs.metrics.counter("gan.steps_run").inc()
 
             if step % config.log_every == 0 or step == config.steps - 1:
                 log.log(step, d_loss=float(d_loss.data), g_loss=float(g_loss.data),
@@ -161,11 +173,13 @@ def train_gan(
                   attempt=attempt_index, lr=g_optimizer.lr,
                   rollback_step=checkpoint.step)
 
-    run_with_recovery(
-        lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
-        runtime.retry_policy(),
-        on_divergence,
-    )
+    with span_scope(obs, "gan.train", shape=shape, steps=config.steps,
+                    seed=config.seed):
+        run_with_recovery(
+            lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
+            runtime.retry_policy(),
+            on_divergence,
+        )
     if not runtime.keep_checkpoint:
         manager.delete()
     generator.eval()

@@ -1,0 +1,74 @@
+"""`repro.obs` — unified run telemetry (DESIGN.md §9).
+
+One run identity ties every telemetry stream together:
+
+* :class:`Run` — run id, config digest, RNG seeds, host info; written as
+  an atomic run-manifest JSON at open, checkpoint, and close;
+* :class:`Tracer` / :meth:`Run.span` — hierarchical span tracing
+  (parent/child, wall-clock, counters, any-type attributes) with a
+  buffered JSONL sink, threaded through the attack/GAN/detector trainers,
+  :meth:`repro.av.AvPipeline.run`, batched detection, and the eval
+  protocol, so one trace covers train → render → eval end to end;
+* :class:`Metrics` — a counter/gauge/histogram registry that
+  :class:`~repro.utils.logging.TrainLog`,
+  :class:`~repro.perf.PerfRecorder`, and the runtime divergence guard
+  publish into instead of inventing their own shapes;
+* :mod:`.report` — loading, rendering, and two-run diffing of
+  manifest/trace pairs (``scripts/obs_report.py`` is the CLI).
+
+Everything is stdlib + numpy, and every instrumented path takes
+``obs=None`` to stay zero-overhead without a run, mirroring the
+``perf=None`` convention of :mod:`repro.perf`.
+"""
+
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, Metrics
+from .report import (
+    LoadedRun,
+    diff_runs,
+    load_run,
+    metric_deltas,
+    render_diff,
+    render_run,
+    span_path_totals,
+)
+from .run import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA_VERSION,
+    TRACE_NAME,
+    Run,
+    append_jsonl,
+    config_digest,
+    host_info,
+    span_scope,
+    write_json_atomic,
+)
+from .trace import SpanNode, SpanRecord, Tracer, build_tree, load_trace
+
+__all__ = [
+    "Run",
+    "span_scope",
+    "config_digest",
+    "host_info",
+    "write_json_atomic",
+    "append_jsonl",
+    "MANIFEST_SCHEMA_VERSION",
+    "MANIFEST_NAME",
+    "TRACE_NAME",
+    "Tracer",
+    "SpanRecord",
+    "SpanNode",
+    "load_trace",
+    "build_tree",
+    "Metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "LoadedRun",
+    "load_run",
+    "render_run",
+    "diff_runs",
+    "render_diff",
+    "metric_deltas",
+    "span_path_totals",
+]

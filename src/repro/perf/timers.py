@@ -88,6 +88,23 @@ class PerfRecorder:
             self.count(name, value)
         return self
 
+    def publish(self, metrics, prefix: str = "perf") -> None:
+        """Fold this recorder into a :class:`repro.obs.Metrics` registry.
+
+        Per stage: ``{prefix}.{stage}.calls`` / ``.items`` counters (the
+        deterministic surface — identical for a same-seed re-run) and one
+        ``.seconds`` histogram observation (wall-clock, legitimately
+        nondeterministic). Free-form counters land under ``{prefix}.``.
+        Publish once per recorder lifetime: values are cumulative, so a
+        second publish of the same recorder would double-count.
+        """
+        for name, stats in sorted(self.stages.items()):
+            metrics.counter(f"{prefix}.{name}.calls").inc(stats.calls)
+            metrics.counter(f"{prefix}.{name}.items").inc(stats.items)
+            metrics.histogram(f"{prefix}.{name}.seconds").observe(stats.seconds)
+        for name, value in sorted(self.counters.items()):
+            metrics.counter(f"{prefix}.{name}").inc(value)
+
     def report(self) -> dict:
         """JSON-ready summary: stages, shares, counters, wall clock."""
         timed = sum(s.seconds for s in self.stages.values())

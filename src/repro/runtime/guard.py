@@ -63,10 +63,24 @@ class GuardConfig:
 
 
 class DivergenceGuard:
-    """Checks step metrics and raises :class:`DivergenceError` on blow-up."""
+    """Checks step metrics and raises :class:`DivergenceError` on blow-up.
 
-    def __init__(self, config: Optional[GuardConfig] = None):
+    ``metrics`` (a :class:`repro.obs.Metrics` registry, duck-typed) makes
+    every trip observable: the guard increments ``guard.divergence`` plus
+    a per-signal counter before raising, so a run manifest records how
+    often — and on which signal — training blew up, without the caller
+    having to catch and re-log anything.
+    """
+
+    def __init__(self, config: Optional[GuardConfig] = None, metrics=None):
         self.config = config or GuardConfig()
+        self.metrics = metrics
+
+    def _trip(self, step: int, name: str, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("guard.divergence").inc()
+            self.metrics.counter(f"guard.divergence.{name}").inc()
+        raise DivergenceError(step, reason)
 
     def check(self, step: int, **metrics: float) -> None:
         """Validate one step's scalar metrics.
@@ -78,8 +92,8 @@ class DivergenceGuard:
         for name, value in metrics.items():
             value = float(value)
             if not math.isfinite(value):
-                raise DivergenceError(step, f"non-finite {name} ({value})")
+                self._trip(step, name, f"non-finite {name} ({value})")
             if threshold is not None and name.endswith("_norm") and value > threshold:
-                raise DivergenceError(
-                    step, f"exploding {name} ({value:.3g} > {threshold:.3g})"
+                self._trip(
+                    step, name, f"exploding {name} ({value:.3g} > {threshold:.3g})"
                 )

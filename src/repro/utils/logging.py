@@ -9,15 +9,29 @@ Besides per-step float metrics, a :class:`TrainLog` collects **events** —
 discrete structured occurrences such as divergence recoveries, checkpoint
 restores, or early stops — so post-mortem diagnosis of a run needs nothing
 but the log object (DESIGN.md §7).
+
+Two durability/telemetry extensions (DESIGN.md §9):
+
+* :meth:`TrainLog.to_jsonl` / :meth:`TrainLog.from_jsonl` round-trip the
+  full record + event history through a JSON-lines file, and the echo
+  stream is flushed after every write, so a SIGKILLed run still leaves
+  every line it printed (``scripts/runtime_smoke.py`` relies on this);
+* :meth:`TrainLog.bind_metrics` publishes every subsequent record into a
+  shared :class:`repro.obs.Metrics` registry (gauges per metric key,
+  counters per event kind) instead of keeping a private shape.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from typing import Any, Dict, List, Optional, TextIO
 
 __all__ = ["TrainLog"]
+
+#: Bump when the JSONL layout changes incompatibly.
+LOG_SCHEMA_VERSION = 1
 
 
 class TrainLog:
@@ -30,14 +44,44 @@ class TrainLog:
         self.records: List[Dict[str, float]] = []
         self.events: List[Dict[str, Any]] = []
         self._start = time.perf_counter()
+        self._metrics = None
+        self._metrics_prefix = name
 
+    # ------------------------------------------------------------------
+    def bind_metrics(self, metrics, prefix: Optional[str] = None) -> "TrainLog":
+        """Publish subsequent records/events into a shared registry.
+
+        Each metric key becomes the gauge ``{prefix}.{key}`` (last value
+        wins, matching how dashboards read a training curve), records are
+        counted under ``{prefix}.records``, and each event kind increments
+        the *unprefixed* counter ``events.{kind}`` so recovery activity
+        aggregates across trainers.
+        """
+        self._metrics = metrics
+        if prefix is not None:
+            self._metrics_prefix = prefix
+        return self
+
+    def _echo_write(self, line: str) -> None:
+        self.stream.write(line)
+        # Flush so a SIGKILLed run keeps every echoed line (smoke test).
+        try:
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    # ------------------------------------------------------------------
     def log(self, step: int, **metrics: float) -> None:
         record = {"step": float(step), "elapsed": time.perf_counter() - self._start}
         record.update({k: float(v) for k, v in metrics.items()})
         self.records.append(record)
+        if self._metrics is not None:
+            self._metrics.counter(f"{self._metrics_prefix}.records").inc()
+            for key, value in metrics.items():
+                self._metrics.gauge(f"{self._metrics_prefix}.{key}").set(float(value))
         if self.echo:
             parts = " ".join(f"{k}={v:.4g}" for k, v in metrics.items())
-            self.stream.write(f"[{self.name}] step {step}: {parts}\n")
+            self._echo_write(f"[{self.name}] step {step}: {parts}\n")
 
     def event(self, step: int, kind: str, **fields: Any) -> None:
         """Record a discrete structured event (recovery, restore, stop…).
@@ -52,9 +96,11 @@ class TrainLog:
         }
         record.update(fields)
         self.events.append(record)
+        if self._metrics is not None:
+            self._metrics.counter(f"events.{kind}").inc()
         if self.echo:
             parts = " ".join(f"{k}={v!r}" for k, v in fields.items())
-            self.stream.write(f"[{self.name}] step {step} !{kind}: {parts}\n")
+            self._echo_write(f"[{self.name}] step {step} !{kind}: {parts}\n")
 
     def events_of(self, kind: str) -> List[Dict[str, Any]]:
         """All recorded events of one kind, in order."""
@@ -68,3 +114,51 @@ class TrainLog:
 
     def series(self, key: str) -> List[float]:
         return [r[key] for r in self.records if key in r]
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str) -> None:
+        """Persist the full history (records + events) as JSON lines.
+
+        The first line is a meta header; every later line is one record or
+        event tagged by ``type``. Event fields survive verbatim when they
+        are JSON-representable; anything else degrades to ``repr``.
+        """
+        with open(path, "w") as handle:
+            handle.write(json.dumps(
+                {"type": "meta", "schema_version": LOG_SCHEMA_VERSION,
+                 "name": self.name},
+                sort_keys=True) + "\n")
+            for record in self.records:
+                payload = {"type": "record"}
+                payload.update(record)
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            for event in self.events:
+                payload = {"type": "event"}
+                payload.update(event)
+                handle.write(json.dumps(payload, sort_keys=True, default=repr) + "\n")
+            handle.flush()
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "TrainLog":
+        """Reload a :meth:`to_jsonl` file into a fresh (non-echoing) log."""
+        log = cls("restored")
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                kind = payload.pop("type", None)
+                if kind == "meta":
+                    if payload.get("schema_version") != LOG_SCHEMA_VERSION:
+                        raise ValueError(
+                            f"log {path!r} has schema_version="
+                            f"{payload.get('schema_version')!r}, expected "
+                            f"{LOG_SCHEMA_VERSION}")
+                    log.name = payload.get("name", log.name)
+                elif kind == "record":
+                    log.records.append({k: float(v) for k, v in payload.items()})
+                elif kind == "event":
+                    payload["step"] = int(payload["step"])
+                    log.events.append(payload)
+        return log

@@ -38,6 +38,45 @@ class TestFormatting:
         assert any("w/o attack" in line for line in lines)
         assert any("80% / Y" in line for line in lines)
 
+    def test_oversized_cell_degrades_to_dash(self):
+        class Wide:
+            def cell(self):
+                return "x" * 40
+
+        row = format_row("ours", {"speed/slow": Wide()}, ("speed/slow",),
+                         width=12)
+        assert "x" not in row
+        assert "-" in row
+
+    def test_broken_cell_method_degrades_to_dash(self):
+        class Broken:
+            def cell(self):
+                raise ValueError("no data")
+
+        row = format_row("ours", {"speed/slow": Broken()}, ("speed/slow",))
+        assert "-" in row
+
+    def test_result_without_cell_degrades_to_dash(self):
+        row = format_row("ours", {"speed/slow": object()}, ("speed/slow",))
+        assert "-" in row
+
+    def test_non_mapping_results_degrade_to_dash(self):
+        row = format_row("ours", None, ("speed/slow", "speed/fast"))
+        assert row.count("-") >= 2
+
+    def test_degraded_row_keeps_alignment(self):
+        class Wide:
+            def cell(self):
+                return "x" * 40
+
+        good = format_row("a", {"speed/slow": result("speed/slow", 50, True)},
+                          ("speed/slow", "speed/fast"))
+        bad = format_row("b", {"speed/slow": Wide()},
+                         ("speed/slow", "speed/fast"))
+        assert len(good) == len(bad)
+        assert [i for i, ch in enumerate(good) if ch == "|"] == \
+               [i for i, ch in enumerate(bad) if ch == "|"]
+
     def test_all_challenges_have_titles(self):
         from repro.eval import DEFAULT_CHALLENGES
 

@@ -1,0 +1,87 @@
+"""The repro.obs metrics registry: counter / gauge / histogram."""
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Counter, Gauge, Histogram, Metrics
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("frames")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("frames").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        gauge = Gauge("loss")
+        assert math.isnan(gauge.value)
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+        assert gauge.updates == 2
+
+    def test_histogram_buckets_and_summary(self):
+        hist = Histogram("seconds", buckets=(0.1, 1.0, float("inf")))
+        for value in (0.05, 0.5, 0.5, 10.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(11.05)
+        assert summary["min"] == 0.05
+        assert summary["max"] == 10.0
+        assert summary["buckets"] == {"0.1": 1, "1.0": 2, "inf": 1}
+
+    def test_histogram_appends_inf_bound(self):
+        hist = Histogram("x", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.bounds[-1] == float("inf")
+        assert hist.count == 1
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(2.0, 1.0))
+
+    def test_empty_histogram_summary(self):
+        summary = Histogram("x").summary()
+        assert summary["count"] == 0
+        assert summary["min"] is None and summary["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        metrics = Metrics()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.gauge("b") is metrics.gauge("b")
+        assert metrics.histogram("c") is metrics.histogram("c")
+
+    def test_kind_conflict_raises(self):
+        metrics = Metrics()
+        metrics.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            metrics.gauge("a")
+
+    def test_snapshot_groups_by_kind(self):
+        metrics = Metrics()
+        metrics.counter("steps").inc(3)
+        metrics.gauge("loss").set(0.5)
+        metrics.histogram("seconds", DEFAULT_BUCKETS).observe(0.01)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"steps": 3.0}
+        assert snap["gauges"] == {"loss": 0.5}
+        assert snap["histograms"]["seconds"]["count"] == 1
+
+    def test_names_filters_by_kind(self):
+        metrics = Metrics()
+        metrics.counter("z")
+        metrics.counter("a")
+        metrics.gauge("m")
+        assert metrics.names("counter") == ["a", "z"]
+        assert metrics.names() == ["a", "m", "z"]

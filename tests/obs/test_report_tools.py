@@ -1,0 +1,155 @@
+"""Report tooling: perf-report round-trip with manifest fields, run
+loading, tree rendering, and the two-run diff."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    Run,
+    append_jsonl,
+    config_digest,
+    diff_runs,
+    host_info,
+    load_run,
+    metric_deltas,
+    render_diff,
+    render_run,
+    span_path_totals,
+)
+from repro.perf import REPORT_SCHEMA_VERSION, load_report, write_report
+
+pytestmark = pytest.mark.obs
+
+
+class TestPerfReportRoundTrip:
+    """Satellite: BENCH-style reports now carry a run-manifest stamp."""
+
+    def _payload(self):
+        return {
+            "benchmark": "unit",
+            "batched_fps": 10.0,
+            "manifest": {
+                "schema_version": MANIFEST_SCHEMA_VERSION,
+                "run_id": "bench-test",
+                "config_digest": config_digest({"frames": 8, "seed": 0}),
+                "seeds": {"video": 0, "detector": 0},
+                "host": host_info(),
+            },
+        }
+
+    def test_manifest_fields_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_unit.json")
+        write_report(path, self._payload())
+        loaded = load_report(path)
+        assert loaded["schema_version"] == REPORT_SCHEMA_VERSION
+        manifest = loaded["manifest"]
+        assert manifest["run_id"] == "bench-test"
+        assert manifest["config_digest"] == config_digest({"seed": 0, "frames": 8})
+        assert manifest["seeds"] == {"video": 0, "detector": 0}
+        assert set(manifest["host"]) >= {"platform", "python", "numpy",
+                                         "hostname", "pid"}
+
+    def test_history_append_is_machine_readable(self, tmp_path):
+        path = str(tmp_path / "BENCH_history.jsonl")
+        append_jsonl(path, {"batched_fps": 10.0, "run_id": "a"})
+        append_jsonl(path, {"batched_fps": 11.0, "run_id": "b"})
+        lines = [json.loads(line) for line in open(path)]
+        assert [entry["run_id"] for entry in lines] == ["a", "b"]
+        assert lines[1]["batched_fps"] == 11.0
+
+
+def make_run(directory, marker=0.0, fail=False):
+    try:
+        with Run(str(directory), name="demo", config={"k": 1},
+                 seeds={"seed": 0}) as run:
+            with run.span("train", steps=2):
+                with run.span("steps"):
+                    run.tracer.add("items", 4)
+            with run.span("eval"):
+                with run.span("render"):
+                    pass
+                with run.span("render"):
+                    pass
+            run.metrics.counter("steps_run").inc(2)
+            run.metrics.gauge("loss").set(0.5 + marker)
+            if fail:
+                raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    return load_run(str(directory))
+
+
+class TestLoadAndRender:
+    def test_load_run_from_directory_and_manifest_path(self, tmp_path):
+        loaded = make_run(tmp_path / "r")
+        via_manifest = load_run(os.path.join(loaded.path, "manifest.json"))
+        assert via_manifest.run_id == loaded.run_id
+        assert len(via_manifest.spans) == len(loaded.spans)
+
+    def test_render_contains_tree_and_counters(self, tmp_path):
+        loaded = make_run(tmp_path / "r")
+        text = render_run(loaded)
+        assert loaded.run_id in text
+        assert "train" in text and "eval" in text and "render" in text
+        assert "└─" in text or "├─" in text
+        assert "steps_run" in text
+
+    def test_missing_trace_loads_empty(self, tmp_path):
+        loaded = make_run(tmp_path / "r")
+        os.unlink(os.path.join(loaded.path, "trace.jsonl"))
+        reloaded = load_run(loaded.path)
+        assert reloaded.spans == []
+        assert "(no spans recorded)" in render_run(reloaded)
+
+    def test_span_path_totals_aggregates_repeats(self, tmp_path):
+        loaded = make_run(tmp_path / "r")
+        totals = span_path_totals(loaded)
+        assert totals["eval/render"][1] == 2  # two render calls, one path
+        assert totals["train/steps"][1] == 1
+        assert totals["train"][0] >= totals["train/steps"][0]
+
+
+class TestDiff:
+    def test_same_seed_runs_have_zero_metric_deltas(self, tmp_path):
+        a = make_run(tmp_path / "a")
+        b = make_run(tmp_path / "b")
+        diff = diff_runs(a, b)
+        assert diff["config_equal"] and diff["status_equal"]
+        assert diff["metrics"]["deterministic_equal"]
+        text = render_diff(diff)
+        assert "zero deltas" in text
+
+    def test_metric_drift_is_reported(self, tmp_path):
+        a = make_run(tmp_path / "a")
+        b = make_run(tmp_path / "b", marker=0.1)
+        deltas = metric_deltas(a, b)
+        assert not deltas["deterministic_equal"]
+        assert deltas["gauges"]["loss"]["delta"] == pytest.approx(0.1)
+        assert "loss" in render_diff(diff_runs(a, b))
+
+    def test_exit_status_comparison(self, tmp_path):
+        a = make_run(tmp_path / "a")
+        b = make_run(tmp_path / "b", fail=True)
+        diff = diff_runs(a, b)
+        assert not diff["status_equal"]
+        assert "DIFFERS" in render_diff(diff)
+
+    def test_span_wall_clock_deltas_per_path(self, tmp_path):
+        a = make_run(tmp_path / "a")
+        b = make_run(tmp_path / "b")
+        diff = diff_runs(a, b)
+        entry = diff["spans"]["eval/render"]
+        assert entry["a_calls"] == entry["b_calls"] == 2
+        assert entry["delta_seconds"] == pytest.approx(
+            entry["b_seconds"] - entry["a_seconds"])
+
+    def test_recovery_counters_surface(self, tmp_path):
+        a = make_run(tmp_path / "a")
+        b = make_run(tmp_path / "b")
+        b.manifest["metrics"]["counters"]["events.divergence_recovery"] = 2.0
+        diff = diff_runs(a, b)
+        assert diff["recovery"]["b"] == {"events.divergence_recovery": 2.0}
+        assert "divergence_recovery" in render_diff(diff)

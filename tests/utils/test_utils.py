@@ -1,5 +1,6 @@
 """Utilities: RNG derivation, image I/O, drawing, logging, timers."""
 
+import io
 import time
 
 import numpy as np
@@ -157,6 +158,65 @@ class TestLoggingTimers:
     def test_trainlog_last_default(self):
         log = TrainLog("test")
         assert np.isnan(log.last("missing"))
+
+    def test_trainlog_jsonl_roundtrip(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = TrainLog("round")
+        log.log(0, loss=1.0)
+        log.log(1, loss=0.5, extra=2.0)
+        log.event(1, "divergence_recovery", reason="non-finite", attempt=1)
+        log.to_jsonl(path)
+
+        restored = TrainLog.from_jsonl(path)
+        assert restored.name == "round"
+        assert restored.series("loss") == [1.0, 0.5]
+        assert restored.last("extra") == 2.0
+        events = restored.events_of("divergence_recovery")
+        assert len(events) == 1
+        assert events[0]["reason"] == "non-finite"
+        assert events[0]["attempt"] == 1
+        assert events[0]["step"] == 1
+
+    def test_trainlog_jsonl_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"type": "meta", "schema_version": 999}\n')
+        with pytest.raises(ValueError, match="schema_version"):
+            TrainLog.from_jsonl(str(path))
+
+    def test_trainlog_echo_flushes_every_line(self):
+        class FlushCounter(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.flushes = 0
+
+            def flush(self):
+                self.flushes += 1
+                super().flush()
+
+        stream = FlushCounter()
+        log = TrainLog("echo", echo=True, stream=stream)
+        log.log(0, loss=1.0)
+        log.event(0, "checkpoint_restore")
+        # One flush per write: a SIGKILLed run keeps every echoed line.
+        assert stream.flushes == 2
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "loss=1" in lines[0]
+        assert "!checkpoint_restore" in lines[1]
+
+    def test_trainlog_echo_survives_closed_stream(self):
+        stream = io.StringIO()
+        log = TrainLog("echo", echo=True, stream=stream)
+        log.log(0, loss=1.0)
+        stream.close()  # flush on a closed stream must not raise
+
+        class NoFlushWrite(io.StringIO):
+            def flush(self):
+                raise ValueError("closed")
+
+        log.stream = NoFlushWrite()
+        log.log(1, loss=0.5)  # write ok, flush failure swallowed
+        assert log.series("loss") == [1.0, 0.5]
 
     def test_stopwatch_monotonic(self):
         watch = Stopwatch()
