@@ -249,6 +249,7 @@ def main(argv=None) -> int:
             "unix_time": time.time(),
             "mode": "check" if args.check else "write",
             "status": status,
+            "benchmark": "av_pipeline_hotpath",
             "run_id": payload["manifest"]["run_id"],
             "config_digest": payload["manifest"]["config_digest"],
             "per_frame_fps": payload["per_frame_fps"],

@@ -9,7 +9,7 @@ runs of 3 consecutive frames (the paper's dynamic-attack ingredient).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 
 
@@ -73,8 +73,21 @@ class AttackConfig:
     capture_probability: float = 0.5
     grad_clip: float = 5.0
     seed: int = 0
+    #: EOT fan-out schedule (DESIGN.md §10). ``None`` keeps the legacy
+    #: batched step. ``0`` runs the per-sample parallel-engine schedule
+    #: serially in-process (the bit-identity oracle); ``n >= 1`` runs the
+    #: same schedule across ``n`` worker processes. Every ``workers >= 0``
+    #: value yields byte-identical parameter updates — the worker count is
+    #: deployment detail, not configuration, which is why :meth:`cache_key`
+    #: records only the schedule, never ``n``.
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be None (legacy) or >= 0")
+        self._validate_attack()
+
+    def _validate_attack(self) -> None:
         if self.shape not in SHAPE_NAMES:
             raise ValueError(f"shape must be one of {SHAPE_NAMES}, got {self.shape!r}")
         if self.n_patches < 1:
@@ -104,4 +117,9 @@ class AttackConfig:
             f"_tg{int(self.targeted)}{universal}"
             f"_s{self.steps}w{self.warmup_steps}b{self.batch_frames}"
             f"_cta{int(self.constant_total_area)}_seed{self.seed}"
+            # The parallel-engine schedule changes the EOT sampling/reduction
+            # math (per-sample streams, tree reduce), so artifacts are not
+            # interchangeable with legacy ones — but the worker *count* is
+            # not part of the identity: every workers >= 0 is byte-equal.
+            f"{'_par' if self.workers is not None else ''}"
         )

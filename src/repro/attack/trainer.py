@@ -183,6 +183,38 @@ def _capture_augment(image: Tensor, rng: np.random.Generator) -> Tensor:
     return (out + noise).clip(0.0, 1.0)
 
 
+def _composite_one(
+    frame: TrainingFrame,
+    patch: Tensor,
+    printed: Tensor,
+    pipeline: EOTPipeline,
+    rng: np.random.Generator,
+    capture_probability: float,
+) -> Tensor:
+    """EOT-transform and paste the patch into one frame (differentiable).
+
+    One decal instance is sampled per placement (alpha from the *pre-print*
+    patch so gamut compression cannot erase the silhouette), then the
+    composite optionally passes through the differentiable capture-EOT.
+    The draw order — per-placement transform samples, then one capture
+    coin — is the unit both schedules share: the legacy batched step walks
+    one rng across frames, the parallel engine gives every frame its own
+    derived stream (DESIGN.md §10).
+    """
+    patches = []
+    alphas = []
+    for _ in frame.placements:
+        transformed, alpha, _ = pipeline.sample_and_apply(
+            printed, rng, alpha=soft_background_mask(patch)
+        )
+        patches.append(transformed)
+        alphas.append(alpha)
+    image = apply_patches(frame.image, patches, alphas, frame.placements)
+    if rng.random() < capture_probability:
+        image = _capture_augment(image, rng)
+    return image
+
+
 def _composite_batch(
     frames: Sequence[TrainingFrame],
     patch: Tensor,
@@ -193,32 +225,58 @@ def _composite_batch(
     """EOT-transform and paste the patch into every frame (differentiable).
 
     The patch first passes through the differentiable printer response
-    (printability-by-design, §II-B) and the alpha mask is computed from the
-    *pre-print* patch so gamut compression cannot erase the silhouette.
-    A ``capture_probability`` fraction of composited frames then pass
+    (printability-by-design, §II-B) once — the composites are stacked into
+    one batch and the trainer runs a *single* batched detector forward
+    over them (the PR 2 hot path), not one forward per frame.
+    A ``capture_probability`` fraction of composited frames also pass
     through the differentiable capture-EOT so the decal works on what the
     camera actually records, not on ideal pixels.
     """
     from ..eot.transforms import print_response
 
     printed = print_response(patch)
-    composited = []
-    boxes = []
-    for frame in frames:
-        patches = []
-        alphas = []
-        for _ in frame.placements:
-            transformed, alpha, _ = pipeline.sample_and_apply(
-                printed, rng, alpha=soft_background_mask(patch)
-            )
-            patches.append(transformed)
-            alphas.append(alpha)
-        image = apply_patches(frame.image, patches, alphas, frame.placements)
-        if rng.random() < capture_probability:
-            image = _capture_augment(image, rng)
-        composited.append(image)
-        boxes.append(frame.target_box_xywh)
+    composited = [
+        _composite_one(frame, patch, printed, pipeline, rng, capture_probability)
+        for frame in frames
+    ]
+    boxes = [frame.target_box_xywh for frame in frames]
     return concatenate(composited, axis=0), boxes
+
+
+def _batch_frame_indices(
+    pool_size: int,
+    config: AttackConfig,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Draw the frame indices of one training batch.
+
+    Whole consecutive runs when configured (the paper's dynamic-attack
+    ingredient); clamped to the pool so a small pool yields a smaller
+    batch instead of crashing ``rng.choice`` with an impossible
+    no-replacement request. Split from :func:`_batch_frames` so the
+    parallel engine can draw indices (one ``rng.choice`` call, identical
+    stream consumption) and ship them to workers without the frames.
+    """
+    if pool_size == 0:
+        raise ValueError("training-frame pool is empty")
+    if config.consecutive:
+        runs = pool_size // config.group
+        if runs == 0:
+            raise ValueError(
+                f"pool of {pool_size} frames holds no complete run of "
+                f"{config.group} consecutive frames"
+            )
+        chosen = rng.choice(
+            runs, size=min(config.batch_frames // config.group, runs), replace=False
+        )
+        indices: List[int] = []
+        for run in chosen:
+            indices.extend(range(run * config.group, (run + 1) * config.group))
+        return indices
+    chosen = rng.choice(
+        pool_size, size=min(config.batch_frames, pool_size), replace=False
+    )
+    return [int(i) for i in chosen]
 
 
 def _batch_frames(
@@ -226,32 +284,12 @@ def _batch_frames(
     config: AttackConfig,
     rng: np.random.Generator,
 ) -> List[TrainingFrame]:
-    """Draw a training batch — whole consecutive runs when configured.
+    """Materialize one training batch from the pre-rendered frame pool.
 
-    The draw is clamped to the pool: a pool with fewer runs (or frames)
-    than the configured batch yields a smaller batch instead of crashing
-    ``rng.choice`` with an impossible no-replacement request.
+    The batch feeds a single batched detector forward (see
+    :func:`_composite_batch`), not a per-frame loop.
     """
-    if not pool:
-        raise ValueError("training-frame pool is empty")
-    if config.consecutive:
-        runs = len(pool) // config.group
-        if runs == 0:
-            raise ValueError(
-                f"pool of {len(pool)} frames holds no complete run of "
-                f"{config.group} consecutive frames"
-            )
-        chosen = rng.choice(
-            runs, size=min(config.batch_frames // config.group, runs), replace=False
-        )
-        batch: List[TrainingFrame] = []
-        for run in chosen:
-            batch.extend(pool[run * config.group:(run + 1) * config.group])
-        return batch
-    indices = rng.choice(
-        len(pool), size=min(config.batch_frames, len(pool)), replace=False
-    )
-    return [pool[i] for i in indices]
+    return [pool[i] for i in _batch_frame_indices(len(pool), config, rng)]
 
 
 def train_patch_attack(
@@ -261,6 +299,7 @@ def train_patch_attack(
     log: Optional[TrainLog] = None,
     runtime: Optional[RuntimeConfig] = None,
     obs: Optional[Run] = None,
+    perf=None,
 ) -> AttackResult:
     """Train the paper's decal attack against a frozen detector.
 
@@ -280,6 +319,14 @@ def train_patch_attack(
     ``attack.train`` span with warm-up / frame-pool / step-loop children,
     loss gauges from the log, and guard/recovery counters, so one trace
     covers GAN warm-up through the final patch. ``obs=None`` is free.
+
+    ``config.workers`` selects the EOT fan-out schedule (DESIGN.md §10):
+    ``None`` keeps the legacy batched generator step; ``0`` runs the
+    per-sample parallel-engine schedule serially in-process (the
+    bit-identity oracle); ``n >= 1`` fans the EOT samples out over ``n``
+    worker processes — every ``workers >= 0`` value produces byte-equal
+    parameter updates. ``perf`` (a :class:`repro.perf.PerfRecorder`)
+    attributes engine stage time (broadcast/dispatch/collect/reduce).
     """
     config = config or AttackConfig()
     log = log or TrainLog("attack")
@@ -306,9 +353,10 @@ def train_patch_attack(
     try:
         with span_scope(obs, "attack.train", steps=config.steps,
                         seed=config.seed, target=config.target_class,
-                        n_patches=config.n_patches):
+                        n_patches=config.n_patches, workers=config.workers):
             return _train_with_frozen_detector(
-                model, scenario, config, log, rng, target_label, runtime, obs
+                model, scenario, config, log, rng, target_label, runtime, obs,
+                perf,
             )
     finally:
         for param, state in zip(detector_params, frozen_state):
@@ -324,6 +372,7 @@ def _train_with_frozen_detector(
     target_label: int,
     runtime: Optional[RuntimeConfig] = None,
     obs: Optional[Run] = None,
+    perf=None,
 ) -> AttackResult:
     runtime = runtime or RuntimeConfig()
     manager = runtime.manager()
@@ -349,8 +398,10 @@ def _train_with_frozen_detector(
                     batch_size=config.gan_batch,
                     learning_rate=config.learning_rate,
                     seed=derive_seed(config.seed, "warmup"),
+                    workers=config.workers,
                 ),
                 obs=obs,
+                perf=perf,
             )
 
     # Pre-render the training-frame pool (the paper's scene photographs).
@@ -381,6 +432,39 @@ def _train_with_frozen_detector(
     # The deployment latent: the attack term always optimizes this patch.
     z_deploy = generator.sample_latent(1, np.random.default_rng(derive_seed(config.seed, "z")))
 
+    evaluator = None
+    if config.workers is not None:
+        from ..parallel import ParallelEvaluator, WorkSpec
+        from .parallel_step import (
+            AttackWorkerPayload,
+            attack_slab_specs,
+            attack_worker_init,
+            attack_worker_step,
+        )
+
+        param_specs, grad_specs = attack_slab_specs(config.k)
+        payload = AttackWorkerPayload(
+            detector_config=model.config,
+            detector_state=model.state_dict(),
+            frames=tuple(pool),
+            tricks=tuple(sorted(config.tricks)),
+            target_label=target_label,
+            objectness_weight=config.objectness_weight,
+            targeted=config.targeted,
+            capture_probability=config.capture_probability,
+            seed=config.seed,
+        )
+        evaluator = ParallelEvaluator(
+            WorkSpec(init_fn=attack_worker_init, work_fn=attack_worker_step,
+                     init_payload=payload, param_specs=param_specs,
+                     grad_specs=grad_specs, max_samples=config.batch_frames),
+            config.workers, obs=obs, perf=perf, name="attack.parallel",
+        )
+    # Extra EOT-stream epoch (engine schedule): bumped on divergence
+    # recovery so retries draw fresh per-sample streams; checkpointed for
+    # bit-exact resume.
+    eot_epoch = [0]
+
     # -- fault-tolerant step loop ------------------------------------------
     def snapshot(step: int) -> TrainingCheckpoint:
         state = {}
@@ -394,7 +478,7 @@ def _train_with_frozen_detector(
         return TrainingCheckpoint(
             step=step, state=state,
             rngs={"batch": capture_rng(rng)},
-            scalars={"lr": g_optimizer.lr},
+            scalars={"lr": g_optimizer.lr, "eot_epoch": float(eot_epoch[0])},
         )
 
     def restore(checkpoint: TrainingCheckpoint) -> None:
@@ -407,6 +491,7 @@ def _train_with_frozen_detector(
         g_optimizer.load_state_dict(part("gopt."))
         d_optimizer.load_state_dict(part("dopt."))
         restore_rng(rng, checkpoint.rngs["batch"])
+        eot_epoch[0] = int(checkpoint.scalars.get("eot_epoch", 0))
 
     start_step = 0
     if resumed is not None:
@@ -441,29 +526,63 @@ def _train_with_frozen_detector(
             adv = generator_adversarial_loss(discriminator(fake))
 
             patch = generator(Tensor(z_deploy))
-            frames = _batch_frames(pool, config, rng)
-            images, boxes = _composite_batch(
-                frames, patch, pipeline, rng,
-                capture_probability=config.capture_probability,
-            )
-            outputs = model(images)
-            attack = attack_loss(outputs, boxes, model, target_label,
-                                 config.objectness_weight, targeted=config.targeted)
+            if evaluator is not None:
+                # Engine schedule: the deployment patch is broadcast once
+                # through the parameter slab; every EOT sample (transform →
+                # composite → frozen-detector forward → L_f → patch grad)
+                # evaluates independently under its own derived stream, and
+                # the per-sample gradients come back through the gradient
+                # slab to be summed in fixed tree order.
+                indices = _batch_frame_indices(len(pool), config, rng)
+                n_samples = len(indices)
+                tasks = [
+                    {"step": step, "epoch": eot_epoch[0],
+                     "samples": [(i, frame_index)]}
+                    for i, frame_index in enumerate(indices)
+                ]
+                out = evaluator.evaluate(
+                    {"patch": np.ascontiguousarray(patch.data, dtype=np.float32)},
+                    tasks, n_samples, ["patch"],
+                )
+                reduced = evaluator.reduce_grads(out)["patch"]
+                mean_scale = np.float32(1.0 / n_samples)
+                attack_value = float(evaluator.reduce(
+                    [np.float32(s["loss"]) for s in out.scalars]) * mean_scale)
+                g_loss_value = float(adv.data) + config.alpha * attack_value
+                guard.check(step, g_loss=g_loss_value)
+                g_optimizer.zero_grad()
+                adv.backward()
+                # d(α · mean loss)/d(patch) seeds the generator backward.
+                patch.backward(reduced * np.float32(config.alpha / n_samples))
+                n_frames = n_samples
+            else:
+                frames = _batch_frames(pool, config, rng)
+                images, boxes = _composite_batch(
+                    frames, patch, pipeline, rng,
+                    capture_probability=config.capture_probability,
+                )
+                outputs = model(images)
+                attack = attack_loss(outputs, boxes, model, target_label,
+                                     config.objectness_weight,
+                                     targeted=config.targeted)
 
-            g_loss = adv + config.alpha * attack
-            guard.check(step, g_loss=float(g_loss.data))
-            g_optimizer.zero_grad()
-            g_loss.backward()
+                g_loss = adv + config.alpha * attack
+                attack_value = float(attack.data)
+                g_loss_value = float(g_loss.data)
+                guard.check(step, g_loss=g_loss_value)
+                g_optimizer.zero_grad()
+                g_loss.backward()
+                n_frames = len(frames)
             g_grad_norm = clip_grad_norm(generator.parameters(), config.grad_clip)
             guard.check(step, g_grad_norm=g_grad_norm)
             g_optimizer.step()
             if obs is not None:
                 obs.metrics.counter("attack.steps_run").inc()
-                obs.metrics.counter("attack.frames_composited").inc(len(frames))
+                obs.metrics.counter("attack.frames_composited").inc(n_frames)
 
             if step % 10 == 0 or step == config.steps - 1:
                 log.log(step, d_loss=float(d_loss.data), adv=float(adv.data),
-                        attack=float(attack.data), g_loss=float(g_loss.data),
+                        attack=attack_value, g_loss=g_loss_value,
                         d_grad_norm=d_grad_norm, g_grad_norm=g_grad_norm,
                         lr=g_optimizer.lr)
 
@@ -478,6 +597,9 @@ def _train_with_frozen_detector(
                              runtime.guard.min_lr)
         restore_rng(rng, capture_rng(np.random.default_rng(
             derive_seed(config.seed, "attack-retry", attempt_index))))
+        # Engine mode draws per-sample streams from (seed, epoch, step, i)
+        # rather than the batch rng, so retries advance the epoch instead.
+        eot_epoch[0] += 1
         # Re-snapshot so a crash after recovery resumes with the cut LR
         # and the reseeded stream.
         recovered = snapshot(checkpoint.step)
@@ -487,13 +609,19 @@ def _train_with_frozen_detector(
                   attempt=attempt_index, lr=g_optimizer.lr,
                   rollback_step=checkpoint.step)
 
-    with span_scope(obs, "attack.steps", steps=config.steps,
-                    start_step=start_step):
-        run_with_recovery(
-            lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
-            runtime.retry_policy(),
-            on_divergence,
-        )
+    try:
+        with span_scope(obs, "attack.steps", steps=config.steps,
+                        start_step=start_step):
+            run_with_recovery(
+                lambda attempt: run_steps(start_step if attempt == 0 else last_good[0].step),
+                runtime.retry_policy(),
+                on_divergence,
+            )
+    finally:
+        # Divergence rollback (or any crash) must not strand worker
+        # processes or /dev/shm segments.
+        if evaluator is not None:
+            evaluator.close()
     if not runtime.keep_checkpoint:
         manager.delete()
 

@@ -14,6 +14,7 @@ benchmarks (see DESIGN.md §5).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 import numpy as np
@@ -31,6 +32,9 @@ from .tensor import (
 
 __all__ = [
     "stable_sigmoid",
+    "ConvWorkspace",
+    "conv_workspace",
+    "clear_conv_workspace",
     "unfold_windows",
     "im2col",
     "col2im",
@@ -74,6 +78,127 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
     return (1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))).astype(
         np.float32, copy=False
     )
+
+
+# ----------------------------------------------------------------------
+# Conv workspace: reusable scratch buffers + cached einsum paths
+# ----------------------------------------------------------------------
+
+class ConvWorkspace:
+    """Per-process scratch-buffer and einsum-path cache for the conv path.
+
+    BENCH_hotpath.json attributes ~81% of wall time to conv forwards, and
+    a meaningful slice of that is allocator traffic: every call re-pads
+    the input and re-searches the einsum contraction path. This cache
+    reuses both across calls, keyed by exact shape/dtype, with a bounded
+    LRU so pathological shape churn cannot grow it without limit.
+
+    Aliasing rule (load-bearing): only buffers that are **consumed
+    synchronously** inside one forward/backward call may live here — the
+    pad buffer (read by einsum through a strided view, never captured by
+    a closure) and the ``grad_cols`` einsum output (read by
+    :func:`col2im` before the closure returns). Anything routed into the
+    autograd graph via ``_route`` is staged *by reference*
+    (``tensor._route``), so graph-visible arrays must stay per-call
+    allocations — which is why :func:`col2im` still allocates its output.
+
+    Not thread-safe by design: each trainer process (parent or
+    ``repro.parallel`` worker) owns its own module-level instance.
+    Invalidate explicitly with :func:`clear_conv_workspace` (e.g. after a
+    memory-pressure event or in tests that count allocations).
+    """
+
+    def __init__(self, max_buffers: int = 64):
+        self.max_buffers = max_buffers
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._buffers: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._paths: dict = {}
+
+    def buffer(self, key: tuple, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """A reusable zero-initialized-at-birth array for ``key``.
+
+        Contents persist between calls — callers must overwrite every
+        element they read (or rely on the documented pad-border
+        invariant below).
+        """
+        buf = self._buffers.get(key)
+        if buf is not None:
+            self._buffers.move_to_end(key)
+            self.hits += 1
+            return buf
+        self.misses += 1
+        buf = np.zeros(shape, dtype=dtype)
+        self._buffers[key] = buf
+        while len(self._buffers) > self.max_buffers:
+            self._buffers.popitem(last=False)
+        return buf
+
+    def pad(self, tag: str, x: np.ndarray, padding: int) -> np.ndarray:
+        """Zero-padded copy of ``x`` through a reusable buffer.
+
+        The borders are written exactly once (at allocation, by
+        ``np.zeros``) and never touched again — only the interior is
+        overwritten per call, which is what makes reuse cheaper than
+        ``np.pad``'s full fresh allocation.
+        """
+        if padding == 0:
+            return x
+        n, c, h, w = x.shape
+        shape = (n, c, h + 2 * padding, w + 2 * padding)
+        if not self.enabled:
+            out = np.zeros(shape, dtype=x.dtype)
+            out[:, :, padding:-padding, padding:-padding] = x
+            return out
+        buf = self.buffer(("pad", tag, shape, np.dtype(x.dtype).str), shape, x.dtype)
+        buf[:, :, padding:-padding, padding:-padding] = x
+        return buf
+
+    def einsum_path(self, subscripts: str, *ops: np.ndarray):
+        key = (subscripts,) + tuple(op.shape for op in ops)
+        path = self._paths.get(key)
+        if path is None:
+            # 'greedy' is what optimize=True resolves to, so cached and
+            # uncached calls contract in the same order (bit-identical).
+            path = np.einsum_path(subscripts, *ops, optimize="greedy")[0]
+            self._paths[key] = path
+        return path
+
+    def einsum(self, subscripts: str, *ops: np.ndarray, out: Optional[np.ndarray] = None):
+        if not self.enabled:
+            return np.einsum(subscripts, *ops, optimize=True, out=out)
+        return np.einsum(subscripts, *ops, out=out,
+                         optimize=self.einsum_path(subscripts, *ops))
+
+    def clear(self) -> None:
+        """Drop every cached buffer and contraction path (explicit invalidation)."""
+        self._buffers.clear()
+        self._paths.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "buffers": len(self._buffers),
+            "buffer_bytes": int(sum(b.nbytes for b in self._buffers.values())),
+            "paths": len(self._paths),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_WORKSPACE = ConvWorkspace()
+
+
+def conv_workspace() -> ConvWorkspace:
+    """This process's conv scratch workspace (see :class:`ConvWorkspace`)."""
+    return _WORKSPACE
+
+
+def clear_conv_workspace() -> None:
+    """Explicitly invalidate the conv workspace cache."""
+    _WORKSPACE.clear()
 
 
 # ----------------------------------------------------------------------
@@ -175,15 +300,21 @@ def conv2d(
         raise ValueError(
             f"conv2d weight {weight.data.shape} incompatible with input {x.data.shape}"
         )
-    windows, out_h, out_w = unfold_windows(x.data, kernel, stride, padding)
-    result = np.einsum("ockl,nchwkl->nohw", weight.data, windows, optimize=True)
+    ws = _WORKSPACE
+    # Pad through the reusable workspace buffer, then unfold padding-free:
+    # numerically identical to unfold_windows(x, …, padding) but without a
+    # fresh np.pad allocation per call.
+    windows, out_h, out_w = unfold_windows(
+        ws.pad("conv", x.data, padding), kernel, stride, 0)
+    result = ws.einsum("ockl,nchwkl->nohw", weight.data, windows)
     if bias is not None:
-        result = result + bias.data.reshape(1, -1, 1, 1)
+        result += bias.data.reshape(1, -1, 1, 1)
     parents = (x, weight) + ((bias,) if bias is not None else ())
     out = _make(result, parents)
     # `windows` must not be captured by the closure below: it pins the padded
     # input (and historically the materialized im2col buffer, K²× the input)
-    # in memory for every conv in the graph until backward runs. The unfold
+    # in memory for every conv in the graph until backward runs — and it now
+    # views a shared workspace buffer that later convs overwrite. The unfold
     # is a pure function of x.data, so backward recomputes the view instead.
     del windows
 
@@ -191,11 +322,19 @@ def conv2d(
         grad = np.asarray(grad, dtype=np.float32)
         grad4 = grad.reshape(n, out_c, out_h, out_w)
         if weight.requires_grad:
-            rewound = unfold_windows(x.data, kernel, stride, padding)[0]
-            grad_w = np.einsum("nohw,nchwkl->ockl", grad4, rewound, optimize=True)
+            rewound = unfold_windows(
+                ws.pad("conv", x.data, padding), kernel, stride, 0)[0]
+            grad_w = ws.einsum("nohw,nchwkl->ockl", grad4, rewound)
             _route(weight, grad_w, staged)
         if x.requires_grad:
-            grad_cols = np.einsum("ockl,nohw->ncklhw", weight.data, grad4, optimize=True)
+            cols_shape = (n, c, kernel, kernel, out_h, out_w)
+            grad_cols = ws.einsum(
+                "ockl,nohw->ncklhw", weight.data, grad4,
+                out=(ws.buffer(("gradcols", cols_shape), cols_shape)
+                     if ws.enabled else None))
+            # col2im reads grad_cols synchronously and allocates its own
+            # output — the array handed to _route must never be a cached
+            # buffer (interior grads are staged by reference).
             _route(
                 x,
                 col2im(grad_cols.reshape(n, c * kernel * kernel, out_h * out_w),

@@ -1,0 +1,45 @@
+"""`repro.parallel` — deterministic data-parallel EOT training engine.
+
+The EOT sample loop in the attack and GAN trainers evaluates independent
+(transform → composite → forward → loss → grad) chains; this package
+fans them out over a persistent pool of spawned worker processes while
+keeping every result **byte-equal to the serial schedule** (DESIGN.md §10):
+
+* :mod:`.shm` — parameters broadcast once per step through one
+  ``multiprocessing.shared_memory`` slab; gradients return through
+  per-sample slots of another (no per-task pickling of weights);
+* :mod:`.pool` — the hardened worker fleet: death detection, respawn,
+  bounded task requeue, per-task timeouts, clean shutdown;
+* :mod:`.reduce` — fixed pairwise-tree gradient summation, so the update
+  is independent of worker count and completion order;
+* :mod:`.engine` — the trainer-facing broadcast/dispatch/collect/reduce
+  driver, whose ``workers=0`` mode is the in-process serial oracle the
+  parallel schedules are tested against.
+"""
+
+from .engine import ParallelEvaluator, StepOutput, shard_indices
+from .pool import (
+    PoolCounters,
+    TaskError,
+    WorkerPool,
+    WorkerPoolError,
+    WorkSpec,
+)
+from .reduce import tree_reduce, tree_reduce_named
+from .shm import ArraySpec, SharedSlab, SlabHandle
+
+__all__ = [
+    "ParallelEvaluator",
+    "StepOutput",
+    "shard_indices",
+    "WorkSpec",
+    "WorkerPool",
+    "WorkerPoolError",
+    "TaskError",
+    "PoolCounters",
+    "tree_reduce",
+    "tree_reduce_named",
+    "ArraySpec",
+    "SharedSlab",
+    "SlabHandle",
+]

@@ -1,0 +1,307 @@
+"""Persistent multiprocessing worker pool for the EOT training fan-out.
+
+One pool = N spawned worker processes, each of which
+
+* attaches the parameter and gradient :class:`~repro.parallel.shm.SharedSlab`
+  segments once at startup (parameters are broadcast through shared memory,
+  never pickled per task),
+* builds its compute context once via the spec's ``init_fn`` (e.g. the
+  frozen detector + EOT pipeline),
+* then loops: receive a small task descriptor, run ``work_fn``, write the
+  per-sample gradients into the gradient slab at their sample slots, and
+  report the per-sample scalars through the result queue.
+
+The parent hardens the loop with the PR 1 robustness idioms (DESIGN.md §7
+and §10): a dead worker (e.g. SIGKILL, OOM) is detected by liveness
+polling, its in-flight task is requeued (bounded retries) and a fresh
+worker is respawned into the same slot; a task that exceeds
+``task_timeout`` gets its worker killed and requeued the same way; and
+``close()`` tears everything down deterministically — also on the
+divergence-rollback error path, where the trainer's ``finally`` block
+guarantees no orphan workers or leaked ``/dev/shm`` segments survive.
+
+Determinism is *not* the pool's job: tasks complete in any order, and the
+caller (:class:`repro.parallel.engine.ParallelEvaluator`) restores order
+positionally by sample index before the fixed-tree reduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .shm import ArraySpec, SharedSlab, SlabHandle
+
+__all__ = ["WorkSpec", "WorkerPool", "WorkerPoolError", "TaskError", "PoolCounters"]
+
+_STOP = "stop"
+
+
+class WorkerPoolError(RuntimeError):
+    """Unrecoverable pool failure (task retries exhausted, spawn failure)."""
+
+
+class TaskError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """What the workers compute.
+
+    ``init_fn(payload) -> ctx`` runs once per worker process (and again on
+    respawn); ``work_fn(ctx, params, task) -> [(sample_index, grads,
+    scalars), ...]`` runs per task. Both must be importable module-level
+    callables (the spawn start method pickles them by reference). ``task``
+    is a small dict naming sample indices and seeds — weights travel only
+    through the parameter slab.
+    """
+
+    init_fn: Callable[[Any], Any]
+    work_fn: Callable[[Any, Dict[str, np.ndarray], dict], Sequence[tuple]]
+    init_payload: Any
+    param_specs: Tuple[ArraySpec, ...]
+    grad_specs: Tuple[ArraySpec, ...]
+    max_samples: int
+
+
+@dataclass
+class PoolCounters:
+    """Robustness-event counters, mirrored into obs metrics by the engine."""
+
+    tasks: int = 0
+    respawns: int = 0
+    requeues: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+
+
+@dataclass
+class _Handle:
+    wid: int
+    slot: int
+    process: mp.process.BaseProcess
+    task_queue: Any
+    task: Optional[Tuple[int, dict]] = None
+    deadline: float = 0.0
+
+
+def _worker_main(wid: int, spec: WorkSpec, param_handle: SlabHandle,
+                 grad_handle: SlabHandle, task_queue, result_queue) -> None:
+    """Worker process entry point (spawned; top-level for picklability)."""
+    param_slab = SharedSlab.attach(param_handle)
+    grad_slab = SharedSlab.attach(grad_handle)
+    try:
+        ctx = spec.init_fn(spec.init_payload)
+    except BaseException:
+        result_queue.put(("error", wid, -1, traceback.format_exc()))
+        return
+    params: Optional[Dict[str, np.ndarray]] = None
+    version = -1
+    while True:
+        message = task_queue.get()
+        if message == _STOP:
+            break
+        _, task_version, task_id, task = message
+        try:
+            if task_version != version:
+                params = param_slab.read_copy()
+                version = task_version
+            results = spec.work_fn(ctx, params, task)
+            scalar_rows = []
+            for sample_index, grads, scalars in results:
+                grad_slab.write(grads, slot=sample_index)
+                scalar_rows.append((sample_index, scalars))
+            result_queue.put(("done", wid, task_id, scalar_rows))
+        except BaseException:
+            result_queue.put(("error", wid, task_id, traceback.format_exc()))
+    param_slab.close()
+    grad_slab.close()
+
+
+class WorkerPool:
+    """Parent-side controller of the persistent worker fleet."""
+
+    def __init__(self, spec: WorkSpec, workers: int, task_timeout: float = 120.0,
+                 max_task_retries: int = 2, poll_interval: float = 0.05):
+        if workers < 1:
+            raise ValueError("WorkerPool needs workers >= 1 (0 is the serial oracle)")
+        self.spec = spec
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        self.poll_interval = poll_interval
+        self.counters = PoolCounters()
+
+        self._ctx = mp.get_context("spawn")
+        self._param_slab = SharedSlab.create(spec.param_specs, slots=1)
+        self._grad_slab = SharedSlab.create(spec.grad_specs, slots=spec.max_samples)
+        self._result_queue = self._ctx.Queue()
+        self._wid_counter = itertools.count()
+        self._handles: Dict[int, _Handle] = {}
+        self._version = 0
+        self._closed = False
+        for slot in range(workers):
+            self._spawn(slot)
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, slot: int) -> _Handle:
+        wid = next(self._wid_counter)
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self.spec, self._param_slab.handle(),
+                  self._grad_slab.handle(), task_queue, self._result_queue),
+            daemon=True,
+            name=f"repro-parallel-{slot}",
+        )
+        process.start()
+        handle = _Handle(wid=wid, slot=slot, process=process, task_queue=task_queue)
+        self._handles[wid] = handle
+        return handle
+
+    def _retire(self, handle: _Handle, kill: bool) -> None:
+        self._handles.pop(handle.wid, None)
+        if kill and handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5.0)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+        handle.task_queue.close()
+
+    def close(self) -> None:
+        """Stop workers, join them, and release the shared-memory slabs."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in list(self._handles.values()):
+            try:
+                handle.task_queue.put_nowait(_STOP)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for handle in list(self._handles.values()):
+            handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            handle.task_queue.close()
+        self._handles.clear()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+        self._param_slab.close()
+        self._grad_slab.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- stepping ------------------------------------------------------
+    def broadcast(self, params: Dict[str, np.ndarray]) -> None:
+        """Publish this step's parameters once, via shared memory."""
+        self._param_slab.write(params)
+        self._version += 1
+
+    def run_tasks(self, tasks: Sequence[dict]) -> List[List[tuple]]:
+        """Run every task to completion; returns per-task scalar rows.
+
+        Survives worker death and task timeouts by respawn + requeue.
+        Raises :class:`TaskError` on an in-worker exception and
+        :class:`WorkerPoolError` when a task exhausts its retries.
+        """
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        pending = deque(enumerate(tasks))
+        done: Dict[int, List[tuple]] = {}
+        attempts: Dict[int, int] = {}
+        while len(done) < len(tasks):
+            self._dispatch(pending, done)
+            message = None
+            try:
+                message = self._result_queue.get(timeout=self.poll_interval)
+            except queue_mod.Empty:
+                pass
+            if message is not None:
+                self._absorb(message, done)
+                continue  # drain results before paying for a liveness scan
+            self._scan_workers(pending, done, attempts)
+        self.counters.tasks += len(tasks)
+        return [done[task_id] for task_id in range(len(tasks))]
+
+    def _dispatch(self, pending: deque, done: Dict[int, list]) -> None:
+        idle = [h for h in self._handles.values() if h.task is None]
+        for handle in idle:
+            task_entry = None
+            while pending:
+                candidate = pending.popleft()
+                if candidate[0] not in done:  # skip stale requeues
+                    task_entry = candidate
+                    break
+            if task_entry is None:
+                return
+            task_id, task = task_entry
+            handle.task_queue.put(("task", self._version, task_id, task))
+            handle.task = (task_id, task)
+            handle.deadline = time.monotonic() + self.task_timeout
+
+    def _absorb(self, message, done: Dict[int, list]) -> None:
+        kind, wid, task_id, payload = message
+        if kind == "error":
+            raise TaskError(
+                f"worker task {task_id} failed:\n{payload}")
+        handle = self._handles.get(wid)
+        if handle is not None and handle.task is not None and handle.task[0] == task_id:
+            handle.task = None
+        # A late result from a worker we already killed/requeued is
+        # accepted idempotently: the recomputed bytes are identical.
+        if task_id not in done:
+            done[task_id] = payload
+
+    def _scan_workers(self, pending: deque, done: Dict[int, list],
+                      attempts: Dict[int, int]) -> None:
+        now = time.monotonic()
+        for handle in list(self._handles.values()):
+            dead = not handle.process.is_alive()
+            expired = handle.task is not None and now > handle.deadline
+            if not dead and not expired:
+                continue
+            if dead:
+                self.counters.worker_deaths += 1
+            else:
+                self.counters.timeouts += 1
+            if handle.task is not None:
+                task_id, task = handle.task
+                if task_id not in done:
+                    attempts[task_id] = attempts.get(task_id, 0) + 1
+                    if attempts[task_id] > self.max_task_retries:
+                        self.close()
+                        raise WorkerPoolError(
+                            f"task {task_id} failed {attempts[task_id]} times "
+                            f"(worker {'died' if dead else 'timed out'})")
+                    pending.appendleft((task_id, task))
+                    self.counters.requeues += 1
+            self._retire(handle, kill=not dead)
+            self._spawn(handle.slot)
+            self.counters.respawns += 1
+
+    # -- gradient access ----------------------------------------------
+    def grad_copy(self, name: str, sample_index: int) -> np.ndarray:
+        """Copy one sample's gradient out of the shared slab."""
+        return self._grad_slab.slot_copy(name, sample_index)

@@ -1,0 +1,65 @@
+"""Deterministic gradient reduction.
+
+Data-parallel training is only bit-reproducible if the *reduction order*
+of the per-sample gradients is pinned. Floating-point addition is not
+associative, so ``sum(g_i)`` computed left-to-right by whichever worker
+finishes first would make the final parameters depend on scheduling.
+
+:func:`tree_reduce` therefore sums in a **fixed pairwise binary tree**
+whose shape depends only on the number of operands — never on which
+process produced them or in which order they arrived::
+
+    8 operands:  ((g0+g1)+(g2+g3)) + ((g4+g5)+(g6+g7))
+    5 operands:  ((g0+g1)+(g2+g3)) + g4
+
+The serial ``workers=0`` oracle and every ``workers=N`` schedule reduce
+through this same tree, which is what makes the parameter updates
+byte-equal across worker counts (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["tree_reduce", "tree_reduce_named"]
+
+
+def tree_reduce(values: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum arrays in a fixed pairwise tree order.
+
+    The pairing is positional: level 0 pairs (0,1), (2,3), …; an odd
+    trailing operand is carried up unchanged. The result is a fresh array
+    (operands are never mutated), except for the single-operand case,
+    which returns a copy so callers can always mutate the result safely.
+    """
+    items: List[np.ndarray] = [np.asarray(v) for v in values]
+    if not items:
+        raise ValueError("tree_reduce needs at least one operand")
+    if len(items) == 1:
+        return items[0].copy()
+    while len(items) > 1:
+        paired = [items[i] + items[i + 1] for i in range(0, len(items) - 1, 2)]
+        if len(items) % 2:
+            paired.append(items[-1])
+        items = paired
+    return items[0]
+
+
+def tree_reduce_named(
+    per_sample: Sequence[Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Apply :func:`tree_reduce` key-wise over per-sample gradient dicts.
+
+    Every dict must carry the same key set (the keys of the first one are
+    authoritative; a missing key in a later dict is an error, because a
+    silently dropped slab would corrupt the reduction).
+    """
+    if not per_sample:
+        raise ValueError("tree_reduce_named needs at least one sample")
+    keys = list(per_sample[0].keys())
+    out: Dict[str, np.ndarray] = {}
+    for key in keys:
+        out[key] = tree_reduce([sample[key] for sample in per_sample])
+    return out

@@ -1,0 +1,151 @@
+"""Shared-memory slabs for zero-pickle parameter broadcast and gradient return.
+
+A :class:`SharedSlab` packs a fixed set of named float arrays into one
+``multiprocessing.shared_memory`` segment, optionally tiled over ``slots``
+(one slot per EOT sample for gradient return). The parent writes the
+step's parameters once; every worker attaches once at spawn and reads a
+view — no per-task pickling of weights crosses the task queue, which only
+ever carries small ``(step, sample_index)``-style descriptors.
+
+Layout is computed from the spec list alone, so a parent-created slab and
+a worker-attached slab agree on offsets by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArraySpec", "SlabHandle", "SharedSlab"]
+
+_ALIGN = 64  # cache-line align each block; cheap and keeps views tidy
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Shape/dtype declaration of one named array in a slab."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "float32"
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class SlabHandle:
+    """Picklable description a worker needs to attach to a slab."""
+
+    shm_name: str
+    specs: Tuple[ArraySpec, ...]
+    slots: int
+
+
+def _layout(specs: Sequence[ArraySpec], slots: int) -> Tuple[Dict[str, int], int]:
+    offsets: Dict[str, int] = {}
+    cursor = 0
+    for spec in specs:
+        offsets[spec.name] = cursor
+        block = spec.nbytes * slots
+        cursor += (block + _ALIGN - 1) // _ALIGN * _ALIGN
+    return offsets, max(cursor, 1)
+
+
+class SharedSlab:
+    """One shared-memory segment holding named arrays × ``slots``.
+
+    Create in the parent with :meth:`create`, ship :meth:`handle` to the
+    workers, attach there with :meth:`attach`. Only the creating side may
+    :meth:`unlink`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 specs: Tuple[ArraySpec, ...], slots: int, owner: bool):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self._specs = specs
+        self._slots = slots
+        self._owner = owner
+        offsets, _ = _layout(specs, slots)
+        self._views: Optional[Dict[str, np.ndarray]] = {
+            spec.name: np.ndarray(
+                (slots,) + tuple(spec.shape), dtype=spec.dtype,
+                buffer=shm.buf, offset=offsets[spec.name],
+            )
+            for spec in specs
+        }
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, specs: Iterable[ArraySpec], slots: int = 1) -> "SharedSlab":
+        specs = tuple(specs)
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        _, total = _layout(specs, slots)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        return cls(shm, specs, slots, owner=True)
+
+    @classmethod
+    def attach(cls, handle: SlabHandle) -> "SharedSlab":
+        # Attaching re-registers the segment with the resource tracker
+        # (bpo-39959; ``track=False`` needs Python 3.13). That is safe
+        # here *because* workers are spawned children: they inherit the
+        # parent's tracker process, so the duplicate register is a set
+        # no-op and the owner's unlink clears the single shared entry.
+        # Do NOT "fix" this with resource_tracker.unregister — that
+        # removes the parent's entry too and unbalances the tracker.
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        return cls(shm, handle.specs, handle.slots, owner=False)
+
+    def handle(self) -> SlabHandle:
+        assert self._shm is not None
+        return SlabHandle(self._shm.name, self._specs, self._slots)
+
+    # -- access --------------------------------------------------------
+    def _view(self, name: str) -> np.ndarray:
+        if self._views is None:
+            raise RuntimeError("slab is closed")
+        return self._views[name]
+
+    def write(self, arrays: Mapping[str, np.ndarray], slot: int = 0) -> None:
+        """Copy ``arrays`` into ``slot`` (subset of the declared names is fine)."""
+        for name, value in arrays.items():
+            self._view(name)[slot][...] = value
+
+    def read_copy(self, slot: int = 0) -> Dict[str, np.ndarray]:
+        """Fresh copies of every declared array at ``slot``."""
+        return {spec.name: np.array(self._view(spec.name)[slot], copy=True)
+                for spec in self._specs}
+
+    def slot_copy(self, name: str, slot: int) -> np.ndarray:
+        return np.array(self._view(name)[slot], copy=True)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Drop views and detach. Owner side also unlinks the segment."""
+        self._views = None
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            # An escaped view still pins the buffer; leak the mapping
+            # rather than crash shutdown — unlink below still reclaims
+            # the segment once every process exits.
+            pass
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:  # best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass

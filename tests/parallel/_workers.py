@@ -1,0 +1,63 @@
+"""Module-level worker functions for the pool/engine tests.
+
+The spawn start method pickles ``init_fn``/``work_fn`` by reference, so
+they must live in an importable module — not inside a test function.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+GRAD_SHAPE = (3, 4)
+
+
+def toy_init(payload):
+    """Context is just the payload dict (e.g. {"scale": 2.0})."""
+    return dict(payload)
+
+
+def toy_work(ctx, params, task):
+    """One row per sample: grad = scale · w · f(sample rng), plus hazards.
+
+    ``task["mode"]`` selects a hazard exercised exactly once per marker
+    file (so the retry after respawn/timeout succeeds):
+
+    * ``"square"`` — plain deterministic compute;
+    * ``"die_once"`` — SIGKILL this worker before computing;
+    * ``"sleep_once"`` — sleep past the pool's task timeout;
+    * ``"raise"`` — raise inside ``work_fn`` (an application error, which
+      must surface as TaskError rather than be retried).
+    """
+    mode = task.get("mode", "square")
+    marker = task.get("marker")
+    if mode == "slow":
+        # Deterministic artificial latency on every attempt — used by the
+        # (multi-core only) overlap test to measure genuine concurrency.
+        time.sleep(task["sleep"])
+    # marker=None means the hazard fires on *every* attempt (for the
+    # retry-budget test); otherwise it fires once and leaves a marker.
+    if mode != "square" and (marker is None or not os.path.exists(marker)):
+        if marker is not None:
+            with open(marker, "w"):
+                pass
+        if mode == "die_once":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "sleep_once":
+            time.sleep(task["sleep"])
+        elif mode == "raise":
+            raise ValueError("intentional worker failure")
+    rows = []
+    for sample_index in task["samples"]:
+        rng = np.random.default_rng(
+            derive_seed(task["seed"], "toy", task["step"], sample_index))
+        noise = rng.standard_normal(GRAD_SHAPE).astype(np.float32)
+        grad = np.float32(ctx["scale"]) * params["w"] * noise
+        rows.append((sample_index, {"g": np.ascontiguousarray(grad)},
+                     {"loss": float(grad.sum())}))
+    return rows

@@ -1,0 +1,77 @@
+"""ParallelEvaluator: bit-identity of every worker count vs the serial oracle."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ArraySpec, ParallelEvaluator, WorkSpec, shard_indices
+
+from ._workers import GRAD_SHAPE, toy_init, toy_work
+
+pytestmark = pytest.mark.parallel
+
+N_SAMPLES = 6
+
+
+def make_spec():
+    return WorkSpec(
+        init_fn=toy_init,
+        work_fn=toy_work,
+        init_payload={"scale": 2.0},
+        param_specs=(ArraySpec("w", GRAD_SHAPE),),
+        grad_specs=(ArraySpec("g", GRAD_SHAPE),),
+        max_samples=N_SAMPLES,
+    )
+
+
+def run_schedule(workers, steps=3):
+    """A tiny multi-step 'training' loop: params evolve from reduced grads."""
+    rng = np.random.default_rng(5)
+    params = {"w": rng.standard_normal(GRAD_SHAPE).astype(np.float32)}
+    with ParallelEvaluator(make_spec(), workers) as evaluator:
+        for step in range(steps):
+            tasks = [{"seed": 7, "step": step, "samples": shard}
+                     for shard in shard_indices(N_SAMPLES, max(1, workers))]
+            out = evaluator.evaluate(params, tasks, N_SAMPLES, ["g"])
+            reduced = evaluator.reduce_grads(out)["g"]
+            loss = evaluator.reduce(
+                [np.float32(s["loss"]) for s in out.scalars])
+            params["w"] = params["w"] - np.float32(0.01) * reduced
+    return params["w"], float(loss)
+
+
+class TestShardIndices:
+    @pytest.mark.parametrize("n,shards", [(6, 1), (6, 2), (6, 4), (7, 3),
+                                          (1, 4), (5, 5), (8, 16)])
+    def test_partition_covers_exactly_once(self, n, shards):
+        got = shard_indices(n, shards)
+        flat = [i for shard in got for i in shard]
+        assert flat == list(range(n))
+        assert all(shard for shard in got)
+        assert len(got) <= max(1, min(shards, n))
+
+    def test_near_equal_sizes(self):
+        sizes = [len(s) for s in shard_indices(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestBitIdentity:
+    def test_worker_counts_match_serial_oracle_byte_for_byte(self):
+        oracle_w, oracle_loss = run_schedule(workers=0)
+        for workers in (1, 2, 4):
+            w, loss = run_schedule(workers=workers)
+            np.testing.assert_array_equal(w, oracle_w, strict=True)
+            assert loss == oracle_loss
+
+    def test_duplicate_sample_detected(self):
+        with ParallelEvaluator(make_spec(), 0) as evaluator:
+            tasks = [{"seed": 7, "step": 0, "samples": [0, 0, 1]}]
+            with pytest.raises(RuntimeError, match="produced twice"):
+                evaluator.evaluate({"w": np.ones(GRAD_SHAPE, np.float32)},
+                                   tasks, 2, ["g"])
+
+    def test_missing_sample_detected(self):
+        with ParallelEvaluator(make_spec(), 0) as evaluator:
+            tasks = [{"seed": 7, "step": 0, "samples": [0, 1]}]
+            with pytest.raises(RuntimeError, match="never produced"):
+                evaluator.evaluate({"w": np.ones(GRAD_SHAPE, np.float32)},
+                                   tasks, 4, ["g"])

@@ -1,0 +1,150 @@
+"""WorkerPool robustness: shared-memory transport, death/timeout recovery.
+
+These spawn real processes, so each test builds the smallest pool that
+exercises its claim; the toy workers live in ``_workers.py`` (spawn
+pickles them by module reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ArraySpec, TaskError, WorkerPool, WorkerPoolError, WorkSpec
+from repro.parallel.reduce import tree_reduce
+
+from ._workers import GRAD_SHAPE, toy_init, toy_work
+
+pytestmark = pytest.mark.parallel
+
+N_SAMPLES = 6
+
+
+def make_spec():
+    return WorkSpec(
+        init_fn=toy_init,
+        work_fn=toy_work,
+        init_payload={"scale": 2.0},
+        param_specs=(ArraySpec("w", GRAD_SHAPE),),
+        grad_specs=(ArraySpec("g", GRAD_SHAPE),),
+        max_samples=N_SAMPLES,
+    )
+
+
+def make_tasks(mode="square", marker=None, **extra):
+    tasks = []
+    for start in range(0, N_SAMPLES, 2):
+        task = {"mode": "square", "seed": 7, "step": 0,
+                "samples": [start, start + 1]}
+        tasks.append(task)
+    if mode != "square":
+        tasks[0].update({"mode": mode, "marker": marker, **extra})
+    return tasks
+
+
+def expected_rows(params):
+    """The serial oracle: run the worker function in-process."""
+    ctx = toy_init({"scale": 2.0})
+    rows = []
+    for task in make_tasks():
+        rows.extend(toy_work(ctx, params, task))
+    return dict((index, (grads, scalars)) for index, grads, scalars in rows)
+
+
+def collect(pool, tasks):
+    scalar_rows = pool.run_tasks(tasks)
+    out = {}
+    for task_rows in scalar_rows:
+        for sample_index, scalars in task_rows:
+            out[sample_index] = (pool.grad_copy("g", sample_index), scalars)
+    return out
+
+
+@pytest.fixture
+def params():
+    rng = np.random.default_rng(11)
+    return {"w": rng.standard_normal(GRAD_SHAPE).astype(np.float32)}
+
+
+def assert_matches_oracle(got, params):
+    want = expected_rows(params)
+    assert sorted(got) == sorted(want) == list(range(N_SAMPLES))
+    for index in want:
+        np.testing.assert_array_equal(got[index][0], want[index][0]["g"])
+        assert got[index][1] == want[index][1]
+
+
+class TestWorkerPool:
+    def test_round_trip_matches_serial_oracle(self, params):
+        with WorkerPool(make_spec(), workers=2) as pool:
+            pool.broadcast(params)
+            got = collect(pool, make_tasks())
+        assert_matches_oracle(got, params)
+
+    def test_rebroadcast_is_seen_by_workers(self, params):
+        with WorkerPool(make_spec(), workers=2) as pool:
+            pool.broadcast(params)
+            collect(pool, make_tasks())
+            fresh = {"w": params["w"] * np.float32(3.0)}
+            pool.broadcast(fresh)
+            got = collect(pool, make_tasks())
+        assert_matches_oracle(got, fresh)
+
+    def test_sigkilled_worker_is_respawned_and_task_requeued(
+            self, params, tmp_path):
+        marker = str(tmp_path / "died_once")
+        with WorkerPool(make_spec(), workers=2) as pool:
+            pool.broadcast(params)
+            got = collect(pool, make_tasks("die_once", marker))
+            assert pool.counters.worker_deaths >= 1
+            assert pool.counters.respawns >= 1
+            assert pool.counters.requeues >= 1
+        assert_matches_oracle(got, params)
+
+    def test_hung_task_times_out_and_retries(self, params, tmp_path):
+        marker = str(tmp_path / "slept_once")
+        spec = make_spec()
+        with WorkerPool(spec, workers=2, task_timeout=1.0) as pool:
+            pool.broadcast(params)
+            got = collect(pool, make_tasks("sleep_once", marker, sleep=30.0))
+            assert pool.counters.timeouts >= 1
+            assert pool.counters.respawns >= 1
+        assert_matches_oracle(got, params)
+
+    def test_worker_exception_surfaces_as_task_error(self, params, tmp_path):
+        marker = str(tmp_path / "raised_once")
+        with WorkerPool(make_spec(), workers=1) as pool:
+            pool.broadcast(params)
+            with pytest.raises(TaskError, match="intentional worker failure"):
+                pool.run_tasks(make_tasks("raise", marker))
+
+    def test_retry_budget_is_bounded(self, params):
+        # A task that kills its worker on *every* attempt (marker=None)
+        # must fail loudly after max_task_retries instead of spinning.
+        tasks = make_tasks()
+        tasks[0].update({"mode": "die_once", "marker": None})
+        pool = WorkerPool(make_spec(), workers=1, max_task_retries=1)
+        try:
+            pool.broadcast(params)
+            with pytest.raises((WorkerPoolError, TaskError)):
+                pool.run_tasks(tasks)
+        finally:
+            pool.close()
+
+    def test_close_is_clean_and_final(self, params):
+        pool = WorkerPool(make_spec(), workers=2)
+        pool.broadcast(params)
+        collect(pool, make_tasks())
+        processes = [h.process for h in pool._handles.values()]
+        pool.close()
+        assert all(not p.is_alive() for p in processes)
+        pool.close()  # idempotent
+        with pytest.raises(WorkerPoolError):
+            pool.run_tasks(make_tasks())
+
+    def test_grads_reduce_identically_to_inprocess_tree(self, params):
+        with WorkerPool(make_spec(), workers=2) as pool:
+            pool.broadcast(params)
+            got = collect(pool, make_tasks())
+        want = expected_rows(params)
+        np.testing.assert_array_equal(
+            tree_reduce([got[i][0] for i in range(N_SAMPLES)]),
+            tree_reduce([want[i][0]["g"] for i in range(N_SAMPLES)]))

@@ -1,0 +1,84 @@
+"""Fixed-tree reduction: the determinism keystone of the parallel engine."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import tree_reduce, tree_reduce_named
+
+pytestmark = pytest.mark.parallel
+
+
+def _operands(n, seed=0, shape=(5, 3)):
+    rng = np.random.default_rng(seed)
+    # Wildly varying magnitudes so float32 addition order actually matters.
+    return [(rng.standard_normal(shape) * 10.0 ** rng.integers(-6, 6))
+            .astype(np.float32) for _ in range(n)]
+
+
+class TestTreeReduce:
+    def test_matches_explicit_tree_even(self):
+        a, b, c, d = _operands(4)
+        expected = (a + b) + (c + d)
+        np.testing.assert_array_equal(tree_reduce([a, b, c, d]), expected)
+
+    def test_matches_explicit_tree_odd_carry(self):
+        a, b, c, d, e = _operands(5)
+        # The odd trailing operand rides up unchanged: ((a+b)+(c+d)) + e.
+        expected = ((a + b) + (c + d)) + e
+        np.testing.assert_array_equal(tree_reduce([a, b, c, d, e]), expected)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 6, 7, 8, 13])
+    def test_float64_ground_truth_within_tolerance(self, n):
+        ops = _operands(n, seed=n)
+        got = tree_reduce(ops)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(
+            got, np.sum([o.astype(np.float64) for o in ops], axis=0),
+            rtol=1e-4, atol=1e-4)
+
+    def test_operands_never_mutated(self):
+        ops = _operands(5)
+        before = [o.copy() for o in ops]
+        tree_reduce(ops)
+        for original, snapshot in zip(ops, before):
+            np.testing.assert_array_equal(original, snapshot)
+
+    def test_single_operand_returns_independent_copy(self):
+        (a,) = _operands(1)
+        out = tree_reduce([a])
+        np.testing.assert_array_equal(out, a)
+        out += 1.0
+        assert not np.array_equal(out, a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_reduce([])
+
+    def test_shape_depends_only_on_count(self):
+        # Byte-equal result when the same operands arrive as different
+        # array objects (as they do from the shared-memory slab copies).
+        ops = _operands(7, seed=3)
+        np.testing.assert_array_equal(
+            tree_reduce(ops), tree_reduce([o.copy() for o in ops]))
+
+    def test_scalar_operands(self):
+        vals = [np.float32(v) for v in (1e8, 1.0, -1e8, 3.0, 7.5)]
+        expected = ((vals[0] + vals[1]) + (vals[2] + vals[3])) + vals[4]
+        assert tree_reduce(vals) == expected
+
+
+class TestTreeReduceNamed:
+    def test_keywise(self):
+        samples = [{"w": np.float32(i), "b": np.float32(10 * i)}
+                   for i in range(5)]
+        out = tree_reduce_named(samples)
+        assert out["w"] == tree_reduce([s["w"] for s in samples])
+        assert out["b"] == tree_reduce([s["b"] for s in samples])
+
+    def test_missing_key_is_an_error(self):
+        with pytest.raises(KeyError):
+            tree_reduce_named([{"w": np.float32(1)}, {"b": np.float32(2)}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_reduce_named([])

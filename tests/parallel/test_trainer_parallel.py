@@ -1,0 +1,89 @@
+"""Trainer-level bit-identity: engine schedules vs their serial oracles.
+
+The acceptance bar of DESIGN.md §10: for both trainers, ``workers=0`` and
+``workers=N`` produce byte-equal parameters — including across a
+checkpoint/resume boundary with the worker pool live.
+"""
+
+import numpy as np
+import pytest
+
+import repro.attack.trainer as attack_trainer
+from repro.attack.config import AttackConfig
+from repro.attack.trainer import train_patch_attack
+from repro.detection.config import reduced_config
+from repro.detection.model import TinyYolo
+from repro.gan.discriminator import PatchDiscriminator
+from repro.gan.generator import PatchGenerator
+from repro.gan.trainer import GanTrainConfig, train_gan
+from repro.runtime import RuntimeConfig
+from repro.scene.video import AttackScenario
+
+pytestmark = pytest.mark.parallel
+
+
+def _state_dicts_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], np.asarray(b[key]), err_msg=key)
+
+
+def _train_gan(workers):
+    generator = PatchGenerator(16, latent_dim=8, seed=3)
+    discriminator = PatchDiscriminator(16, seed=4)
+    train_gan(generator, discriminator, "star",
+              GanTrainConfig(steps=3, batch_size=4, seed=5, workers=workers))
+    return generator, discriminator
+
+
+class TestGanEngine:
+    def test_workers_match_serial_oracle_byte_for_byte(self):
+        oracle_g, oracle_d = _train_gan(workers=0)
+        for workers in (1, 2):
+            generator, discriminator = _train_gan(workers=workers)
+            _state_dicts_equal(generator.state_dict(), oracle_g.state_dict())
+            _state_dicts_equal(discriminator.state_dict(),
+                               oracle_d.state_dict())
+
+
+def _attack_setup(workers, steps=4):
+    model = TinyYolo(reduced_config(input_size=64, width_multiplier=0.25),
+                     seed=0)
+    scenario = AttackScenario(image_size=64)
+    config = AttackConfig(steps=steps, warmup_steps=1, batch_frames=3,
+                          frame_pool=3, gan_batch=3, k=20, workers=workers)
+    return model, scenario, config
+
+
+class TestAttackEngine:
+    def test_identity_and_resume_parity(self, tmp_path, monkeypatch):
+        # 1. Serial oracle vs one-worker pool: byte-equal final patch.
+        oracle = train_patch_attack(*_attack_setup(workers=0))
+        parallel = train_patch_attack(*_attack_setup(workers=1))
+        np.testing.assert_array_equal(parallel.patch, oracle.patch)
+        np.testing.assert_array_equal(parallel.alpha, oracle.alpha)
+
+        # 2. Crash the parallel run mid-loop (parent side: the engine
+        # step calls discriminator_loss exactly once per attack step, so
+        # call 4 dies at step 3, after the checkpoints at 0 and 2), then
+        # resume — still byte-equal to the uninterrupted run.
+        ckpt = str(tmp_path / "attack.ckpt.npz")
+        runtime = RuntimeConfig(checkpoint_path=ckpt, checkpoint_interval=2,
+                                keep_checkpoint=True)
+        real_loss = attack_trainer.discriminator_loss
+        calls = {"n": 0}
+
+        def crashing_loss(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 4:
+                raise KeyboardInterrupt("simulated crash")
+            return real_loss(*args, **kwargs)
+
+        monkeypatch.setattr(attack_trainer, "discriminator_loss", crashing_loss)
+        with pytest.raises(KeyboardInterrupt):
+            train_patch_attack(*_attack_setup(workers=1), runtime=runtime)
+        monkeypatch.setattr(attack_trainer, "discriminator_loss", real_loss)
+
+        resumed = train_patch_attack(*_attack_setup(workers=1),
+                                     runtime=runtime)
+        np.testing.assert_array_equal(resumed.patch, oracle.patch)
