@@ -14,6 +14,7 @@ benchmarks (see DESIGN.md §5).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -102,10 +103,14 @@ class ConvWorkspace:
     (``tensor._route``), so graph-visible arrays must stay per-call
     allocations — which is why :func:`col2im` still allocates its output.
 
-    Not thread-safe by design: each trainer process (parent or
-    ``repro.parallel`` worker) owns its own module-level instance.
-    Invalidate explicitly with :func:`clear_conv_workspace` (e.g. after a
-    memory-pressure event or in tests that count allocations).
+    A single instance is not safe for concurrent use (two threads padding
+    into the same cached buffer corrupt each other's windows mid-forward),
+    so :func:`conv_workspace` hands out one instance *per thread* via
+    ``threading.local`` — each trainer process, ``repro.parallel`` worker,
+    and server thread gets its own cache with zero locking on the hot
+    path. Invalidate the calling thread's instance explicitly with
+    :func:`clear_conv_workspace` (e.g. after a memory-pressure event or
+    in tests that count allocations).
     """
 
     def __init__(self, max_buffers: int = 64):
@@ -188,17 +193,24 @@ class ConvWorkspace:
         }
 
 
-_WORKSPACE = ConvWorkspace()
+_WORKSPACE_TLS = threading.local()
 
 
 def conv_workspace() -> ConvWorkspace:
-    """This process's conv scratch workspace (see :class:`ConvWorkspace`)."""
-    return _WORKSPACE
+    """The calling thread's conv scratch workspace (see
+    :class:`ConvWorkspace`). Lazily created per thread so concurrent
+    forwards (e.g. a serving scheduler next to a trainer) never share
+    scratch buffers."""
+    workspace = getattr(_WORKSPACE_TLS, "workspace", None)
+    if workspace is None:
+        workspace = ConvWorkspace()
+        _WORKSPACE_TLS.workspace = workspace
+    return workspace
 
 
 def clear_conv_workspace() -> None:
-    """Explicitly invalidate the conv workspace cache."""
-    _WORKSPACE.clear()
+    """Explicitly invalidate the calling thread's conv workspace cache."""
+    conv_workspace().clear()
 
 
 # ----------------------------------------------------------------------
@@ -300,7 +312,7 @@ def conv2d(
         raise ValueError(
             f"conv2d weight {weight.data.shape} incompatible with input {x.data.shape}"
         )
-    ws = _WORKSPACE
+    ws = conv_workspace()
     # Pad through the reusable workspace buffer, then unfold padding-free:
     # numerically identical to unfold_windows(x, …, padding) but without a
     # fresh np.pad allocation per call.

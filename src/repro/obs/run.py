@@ -96,10 +96,18 @@ def write_json_atomic(path: str, document: dict) -> None:
 
 
 def append_jsonl(path: str, record: dict) -> None:
-    """Append one JSON line and flush (history logs, e.g. BENCH_history)."""
+    """Append one JSON line durably (history logs, e.g. BENCH_history).
+
+    The full line (payload + newline) goes down in a single ``write`` so
+    a crash between writes can't interleave torn fragments, and the
+    append is fsynced before the handle closes — a SIGKILL'd process
+    leaves either the whole line or nothing, never a torn trailing line.
+    """
+    line = json.dumps(record, sort_keys=True, default=repr) + "\n"
     with open(path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+        handle.write(line)
         handle.flush()
+        os.fsync(handle.fileno())
 
 
 class Run:

@@ -18,6 +18,7 @@ process loses at most one buffer of spans, never the whole trace.
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -178,6 +179,7 @@ class Tracer:
             for record in pending:
                 handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
             handle.flush()
+            os.fsync(handle.fileno())
 
 
 def load_trace(path: str) -> List[SpanRecord]:

@@ -21,6 +21,7 @@ from .engine import ParallelEvaluator, StepOutput, shard_indices
 from .pool import (
     PoolCounters,
     TaskError,
+    TaskOutcome,
     WorkerPool,
     WorkerPoolError,
     WorkSpec,
@@ -36,6 +37,7 @@ __all__ = [
     "WorkerPool",
     "WorkerPoolError",
     "TaskError",
+    "TaskOutcome",
     "PoolCounters",
     "tree_reduce",
     "tree_reduce_named",

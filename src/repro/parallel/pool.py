@@ -23,6 +23,24 @@ guarantees no orphan workers or leaked ``/dev/shm`` segments survive.
 Determinism is *not* the pool's job: tasks complete in any order, and the
 caller (:class:`repro.parallel.engine.ParallelEvaluator`) restores order
 positionally by sample index before the fixed-tree reduction.
+
+The pool exposes two faces over one scheduler:
+
+* :meth:`WorkerPool.run_tasks` — the synchronous training face: run a
+  task list to completion, raising on any worker exception or exhausted
+  retry budget (and closing the pool on the latter), exactly as the
+  trainers expect.
+* :meth:`WorkerPool.submit` + :meth:`WorkerPool.pump` — the incremental
+  serving face (``repro.serve``): enqueue tasks as they arrive and drain
+  :class:`TaskOutcome` records as they complete. Failures come back as
+  outcomes (``status`` ``"error"``/``"failed"``) instead of exceptions,
+  so one bad request cannot take down a multi-tenant server; the pool
+  stays open and its respawn/requeue recovery keeps running.
+
+Exactly-once delivery: a task is only ever *redelivered* after its worker
+died or timed out (it is then requeued), and a late result from the first
+attempt is dropped against the requeue bookkeeping — so every task yields
+exactly one terminal outcome, never zero, never two.
 """
 
 from __future__ import annotations
@@ -40,7 +58,8 @@ import numpy as np
 
 from .shm import ArraySpec, SharedSlab, SlabHandle
 
-__all__ = ["WorkSpec", "WorkerPool", "WorkerPoolError", "TaskError", "PoolCounters"]
+__all__ = ["WorkSpec", "WorkerPool", "WorkerPoolError", "TaskError",
+           "TaskOutcome", "PoolCounters"]
 
 _STOP = "stop"
 
@@ -82,6 +101,30 @@ class PoolCounters:
     requeues: int = 0
     timeouts: int = 0
     worker_deaths: int = 0
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Terminal fate of one submitted task (the incremental face).
+
+    ``status`` is ``"done"`` (``rows`` holds the per-sample scalar rows),
+    ``"error"`` (the task raised inside a worker; ``error`` carries the
+    remote traceback) or ``"failed"`` (the task exhausted its retry
+    budget through worker deaths/timeouts). ``task_id`` ``-1`` marks a
+    worker that failed in ``init_fn`` before taking any task.
+    """
+
+    task_id: int
+    status: str
+    rows: Optional[List[tuple]] = None
+    error: Optional[str] = None
+
+
+#: Requeued-task ids whose terminal outcome is remembered for duplicate
+#: suppression. Only tasks that were ever redelivered (or failed) can race
+#: a late first-attempt result, so this stays tiny; the cap only bounds a
+#: pathological server lifetime.
+_DEDUPE_LIMIT = 4096
 
 
 @dataclass
@@ -149,6 +192,14 @@ class WorkerPool:
         self._handles: Dict[int, _Handle] = {}
         self._version = 0
         self._closed = False
+        # Incremental-scheduler state (shared by run_tasks and submit/pump).
+        self._task_ids = itertools.count()
+        self._pending: deque = deque()
+        self._attempts: Dict[int, int] = {}
+        self._ready: List[TaskOutcome] = []
+        self._requeued: set = set()
+        self._dedupe: set = set()
+        self._dedupe_order: deque = deque()
         for slot in range(workers):
             self._spawn(slot)
 
@@ -224,34 +275,94 @@ class WorkerPool:
 
         Survives worker death and task timeouts by respawn + requeue.
         Raises :class:`TaskError` on an in-worker exception and
-        :class:`WorkerPoolError` when a task exhausts its retries.
+        :class:`WorkerPoolError` when a task exhausts its retries (the
+        pool is closed first — the training loop cannot continue from a
+        lost gradient sample).
         """
         if self._closed:
             raise WorkerPoolError("pool is closed")
-        pending = deque(enumerate(tasks))
-        done: Dict[int, List[tuple]] = {}
-        attempts: Dict[int, int] = {}
-        while len(done) < len(tasks):
-            self._dispatch(pending, done)
-            message = None
-            try:
-                message = self._result_queue.get(timeout=self.poll_interval)
-            except queue_mod.Empty:
-                pass
-            if message is not None:
-                self._absorb(message, done)
-                continue  # drain results before paying for a liveness scan
-            self._scan_workers(pending, done, attempts)
+        ids = [self.submit(task) for task in tasks]
+        position = {task_id: index for index, task_id in enumerate(ids)}
+        results: Dict[int, List[tuple]] = {}
+        while len(results) < len(ids):
+            for outcome in self.pump(self.poll_interval):
+                if outcome.status == "error":
+                    raise TaskError(
+                        f"worker task {position.get(outcome.task_id, outcome.task_id)} "
+                        f"failed:\n{outcome.error}")
+                if outcome.task_id not in position:
+                    continue
+                if outcome.status == "failed":
+                    self.close()
+                    raise WorkerPoolError(outcome.error)
+                results[outcome.task_id] = outcome.rows
         self.counters.tasks += len(tasks)
-        return [done[task_id] for task_id in range(len(tasks))]
+        return [results[task_id] for task_id in ids]
 
-    def _dispatch(self, pending: deque, done: Dict[int, list]) -> None:
+    # -- incremental face ---------------------------------------------
+    def submit(self, task: dict) -> int:
+        """Enqueue one task; returns its pool-global id (see :meth:`pump`)."""
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        task_id = next(self._task_ids)
+        self._pending.append((task_id, task))
+        self._dispatch()
+        return task_id
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks submitted but not yet terminal (queued + in flight)."""
+        in_flight = sum(1 for h in self._handles.values() if h.task is not None)
+        return len(self._pending) + in_flight
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids (chaos testing: pick one and SIGKILL it)."""
+        return [h.process.pid for h in self._handles.values()
+                if h.process.pid is not None]
+
+    def pump(self, timeout: float = 0.0) -> List[TaskOutcome]:
+        """One scheduling round; returns tasks that became terminal.
+
+        Dispatches queued work to idle workers, waits up to ``timeout``
+        for a result (0 = poll), and — when nothing arrived — runs the
+        liveness/deadline scan that requeues or fails tasks whose worker
+        died or hung. Unlike :meth:`run_tasks`, failures are *returned*
+        (as ``"error"``/``"failed"`` outcomes), never raised: the serving
+        layer maps them to per-request responses while the pool keeps
+        recovering workers underneath.
+        """
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        self._dispatch()
+        message = None
+        try:
+            if timeout > 0:
+                message = self._result_queue.get(timeout=timeout)
+            else:
+                message = self._result_queue.get_nowait()
+        except queue_mod.Empty:
+            pass
+        if message is not None:
+            self._absorb(message)
+            while True:  # drain whatever else is already queued
+                try:
+                    self._absorb(self._result_queue.get_nowait())
+                except queue_mod.Empty:
+                    break
+        else:
+            self._scan_workers()
+        self._dispatch()
+        ready, self._ready = self._ready, []
+        return ready
+
+    # -- scheduler internals -------------------------------------------
+    def _dispatch(self) -> None:
         idle = [h for h in self._handles.values() if h.task is None]
         for handle in idle:
             task_entry = None
-            while pending:
-                candidate = pending.popleft()
-                if candidate[0] not in done:  # skip stale requeues
+            while self._pending:
+                candidate = self._pending.popleft()
+                if candidate[0] not in self._dedupe:  # skip stale requeues
                     task_entry = candidate
                     break
             if task_entry is None:
@@ -261,21 +372,34 @@ class WorkerPool:
             handle.task = (task_id, task)
             handle.deadline = time.monotonic() + self.task_timeout
 
-    def _absorb(self, message, done: Dict[int, list]) -> None:
+    def _finish(self, task_id: int, outcome: TaskOutcome) -> None:
+        self._ready.append(outcome)
+        self._attempts.pop(task_id, None)
+        # Only a task that was redelivered (or failed with an attempt
+        # possibly still running) can ever produce a second result; its id
+        # goes into the dedupe set so the late duplicate is dropped.
+        if task_id in self._requeued or outcome.status == "failed":
+            self._requeued.discard(task_id)
+            self._dedupe.add(task_id)
+            self._dedupe_order.append(task_id)
+            while len(self._dedupe_order) > _DEDUPE_LIMIT:
+                self._dedupe.discard(self._dedupe_order.popleft())
+
+    def _absorb(self, message) -> None:
         kind, wid, task_id, payload = message
-        if kind == "error":
-            raise TaskError(
-                f"worker task {task_id} failed:\n{payload}")
         handle = self._handles.get(wid)
         if handle is not None and handle.task is not None and handle.task[0] == task_id:
             handle.task = None
-        # A late result from a worker we already killed/requeued is
-        # accepted idempotently: the recomputed bytes are identical.
-        if task_id not in done:
-            done[task_id] = payload
+        if task_id in self._dedupe:
+            # A late result from a worker we already killed/requeued: the
+            # recomputed bytes are identical, so dropping it is lossless.
+            return
+        if kind == "error":
+            self._finish(task_id, TaskOutcome(task_id, "error", error=payload))
+        else:
+            self._finish(task_id, TaskOutcome(task_id, "done", rows=payload))
 
-    def _scan_workers(self, pending: deque, done: Dict[int, list],
-                      attempts: Dict[int, int]) -> None:
+    def _scan_workers(self) -> None:
         now = time.monotonic()
         for handle in list(self._handles.values()):
             dead = not handle.process.is_alive()
@@ -288,15 +412,17 @@ class WorkerPool:
                 self.counters.timeouts += 1
             if handle.task is not None:
                 task_id, task = handle.task
-                if task_id not in done:
-                    attempts[task_id] = attempts.get(task_id, 0) + 1
-                    if attempts[task_id] > self.max_task_retries:
-                        self.close()
-                        raise WorkerPoolError(
-                            f"task {task_id} failed {attempts[task_id]} times "
-                            f"(worker {'died' if dead else 'timed out'})")
-                    pending.appendleft((task_id, task))
-                    self.counters.requeues += 1
+                if task_id not in self._dedupe:
+                    attempts = self._attempts[task_id] = self._attempts.get(task_id, 0) + 1
+                    if attempts > self.max_task_retries:
+                        self._finish(task_id, TaskOutcome(
+                            task_id, "failed",
+                            error=f"task {task_id} failed {attempts} times "
+                                  f"(worker {'died' if dead else 'timed out'})"))
+                    else:
+                        self._pending.appendleft((task_id, task))
+                        self._requeued.add(task_id)
+                        self.counters.requeues += 1
             self._retire(handle, kill=not dead)
             self._spawn(handle.slot)
             self.counters.respawns += 1

@@ -1,0 +1,214 @@
+"""Scheduling primitives of the serving layer: request state, the bounded
+frame store, batch-cut policy, and the stats ledger.
+
+These pieces are deliberately process- and thread-free so the admission /
+batching / deadline logic is unit-testable with a fake clock and a fake
+backend; :class:`repro.serve.server.DetectionServer` wires them to real
+worker processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..detection.decode import Detection
+from ..parallel import SharedSlab
+from .workers import FRAME_ARRAY, frame_spec
+
+__all__ = [
+    "RequestStatus",
+    "DetectionResponse",
+    "PendingRequest",
+    "FrameStore",
+    "batch_cut",
+    "next_wake",
+    "ServeStats",
+]
+
+
+class RequestStatus:
+    """Terminal statuses a request can resolve to (strings, JSON-ready)."""
+
+    OK = "ok"
+    SHED = "shed"            # rejected at admission: no free queue slot
+    TIMEOUT = "timeout"      # deadline passed (queued or completed late)
+    FAILED = "failed"        # inference failed after retry + fallback policy
+    CANCELLED = "cancelled"  # server closed without draining
+
+    TERMINAL = (OK, SHED, TIMEOUT, FAILED, CANCELLED)
+
+
+@dataclass
+class DetectionResponse:
+    """What one frame submission resolves to."""
+
+    session_id: int
+    seq: int
+    status: str
+    detections: List[Detection] = field(default_factory=list)
+    latency_s: float = 0.0
+    degraded: bool = False
+
+
+@dataclass
+class PendingRequest:
+    """One admitted frame: slot-held from admission to terminal response."""
+
+    session_id: int
+    seq: int
+    slot: int
+    enqueue_t: float
+    deadline_t: float
+    future: "Future[DetectionResponse]"
+    completed: bool = False
+
+
+class FrameStore:
+    """Bounded slot pool over one shared-memory frame slab.
+
+    The store *is* the admission bound: a request holds its slot from
+    submit until its response is terminal, so ``capacity`` caps queued +
+    in-flight work in one number and "queue depth" can never grow past
+    it. Slot acquisition/release is thread-safe (client threads submit
+    concurrently); writes go to disjoint slots, so they need no lock.
+    """
+
+    def __init__(self, input_size: int, capacity: int):
+        self.capacity = capacity
+        self._slab = SharedSlab.create((frame_spec(input_size),), slots=capacity)
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._lock = threading.Lock()
+        self._shape = (3, input_size, input_size)
+
+    def handle(self):
+        return self._slab.handle()
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self.capacity - len(self._free)
+
+    def acquire(self, frame: np.ndarray) -> Optional[int]:
+        """Copy ``frame`` into a free slot; ``None`` when full (shed)."""
+        if frame.shape != self._shape:
+            raise ValueError(
+                f"frame shape {frame.shape} != expected {self._shape}")
+        with self._lock:
+            if not self._free:
+                return None
+            slot = self._free.pop()
+        self._slab.write({FRAME_ARRAY: frame.astype(np.float32, copy=False)},
+                         slot=slot)
+        return slot
+
+    def read(self, slot: int) -> np.ndarray:
+        return self._slab.slot_copy(FRAME_ARRAY, slot)
+
+    def release(self, slot: int) -> None:
+        with self._lock:
+            self._free.append(slot)
+
+    def close(self) -> None:
+        self._slab.close()
+
+
+def batch_cut(queue: Sequence[PendingRequest], now: float, max_batch: int,
+              batch_window_s: float, draining: bool = False) -> int:
+    """How many queued requests to dispatch *now* (0 = keep waiting).
+
+    The latency-vs-throughput deadline policy: cut a full batch the
+    moment one exists; cut a partial batch once its oldest member has
+    waited out the batch window (or the server is draining and no more
+    co-batchers can arrive). Otherwise wait — :func:`next_wake` bounds
+    how long.
+    """
+    if not queue:
+        return 0
+    if len(queue) >= max_batch:
+        return max_batch
+    oldest_wait = now - queue[0].enqueue_t
+    if draining or oldest_wait >= batch_window_s:
+        return len(queue)
+    return 0
+
+
+def next_wake(queue: Sequence[PendingRequest], now: float,
+              batch_window_s: float) -> Optional[float]:
+    """Seconds until the scheduler must act on the queue (None = no work:
+    sleep until a submit arrives)."""
+    if not queue:
+        return None
+    window_expiry = queue[0].enqueue_t + batch_window_s
+    deadline = min(request.deadline_t for request in queue)
+    return max(0.0, min(window_expiry, deadline) - now)
+
+
+@dataclass
+class ServeStats:
+    """Thread-safe robustness ledger of one server lifetime.
+
+    Mirrored into a :class:`repro.obs.Metrics` registry by
+    ``DetectionServer.publish`` — kept separate so client threads never
+    touch the (single-writer) obs registry directly.
+    """
+
+    accepted: int = 0
+    shed: int = 0
+    ok: int = 0
+    timeouts: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    degraded_batches: int = 0
+    admission_rejected: int = 0
+    max_queue_depth: int = 0
+    batch_occupancy: List[int] = field(default_factory=list)
+    latencies_s: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def observe_depth(self, depth: int) -> None:
+        with self._lock:
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def observe_batch(self, occupancy: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_occupancy.append(occupancy)
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.latencies_s.append(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            occupancy = list(self.batch_occupancy)
+            latencies = sorted(self.latencies_s)
+            out = {
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "ok": self.ok,
+                "timeouts": self.timeouts,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "batches": self.batches,
+                "degraded_batches": self.degraded_batches,
+                "admission_rejected": self.admission_rejected,
+                "max_queue_depth": self.max_queue_depth,
+            }
+        out["mean_batch_occupancy"] = (
+            float(np.mean(occupancy)) if occupancy else 0.0)
+        if latencies:
+            out["latency_p50_ms"] = 1e3 * float(np.percentile(latencies, 50))
+            out["latency_p99_ms"] = 1e3 * float(np.percentile(latencies, 99))
+        return out

@@ -95,6 +95,37 @@ class TestBatchedPipelineParity:
         assert all(t.sensor_fault for t in batched)
         assert all(t.detections == [] for t in batched)
 
+    def test_schedule_dropping_every_frame_matches_per_frame(self, pipeline, rng):
+        """drop_probability=1.0: every batch is all-fault, so the batched
+        path must coast the whole stream without ever touching the
+        detector — and still mirror the per-frame loop exactly."""
+        frames = make_frames(rng)
+        faults = FaultSchedule.dropped_frames(1.0, seed=3)
+        stream = faults.degrade_stream(frames, np.random.default_rng(5))
+        assert all(frame is None for frame in stream)
+
+        reference = step_reference(pipeline, stream)
+        batched = pipeline.run(frames, faults=faults,
+                               rng=np.random.default_rng(5), batch_size=4)
+        assert_traces_match(reference, batched, box_atol=0)
+        assert all(t.sensor_fault for t in batched)
+        assert all(t.decision.action == ref.decision.action
+                   for t, ref in zip(batched, reference))
+
+    def test_fault_window_spanning_batch_boundary(self, pipeline, rng):
+        """A contiguous drop window (frames 2..5) that straddles the
+        batch_size=4 boundary: the tail of batch 0 and the head of batch
+        1 are both faulty, so confirmation coasting must carry state
+        across the batch cut identically to the per-frame loop."""
+        frames = make_frames(rng)
+        stream = [None if 2 <= i <= 5 else frame
+                  for i, frame in enumerate(frames)]
+        reference = step_reference(pipeline, stream)
+        batched = pipeline.run(stream, batch_size=4)
+        assert_traces_match(reference, batched, box_atol=1e-3)
+        assert ([t.sensor_fault for t in batched]
+                == [frame is None for frame in stream])
+
     def test_perf_recorder_sees_all_stages(self, pipeline, rng):
         frames = make_frames(rng, n=6)
         perf = PerfRecorder()

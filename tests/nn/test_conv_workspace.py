@@ -1,4 +1,7 @@
-"""ConvWorkspace: bit-identical numerics, correct reuse, bounded growth."""
+"""ConvWorkspace: bit-identical numerics, correct reuse, bounded growth,
+and per-thread isolation."""
+
+import threading
 
 import numpy as np
 import pytest
@@ -121,3 +124,43 @@ class TestReuseAndInvalidation:
         ws.enabled = False
         _conv_pass(1)
         assert ws.stats()["buffers"] == 0
+
+
+class TestThreadIsolation:
+    """A shared (module-level) workspace corrupts concurrent forwards:
+    two threads padding the same-shaped input reuse one cached buffer,
+    so the second write destroys the first thread's windows mid-conv.
+    These tests fail deterministically against that design."""
+
+    def test_each_thread_gets_its_own_workspace(self):
+        main_ws = conv_workspace()
+        seen = {}
+
+        def grab():
+            seen["other"] = conv_workspace()
+
+        thread = threading.Thread(target=grab)
+        thread.start()
+        thread.join()
+        assert seen["other"] is not main_ws
+
+    def test_concurrent_pad_does_not_corrupt_other_thread(self):
+        # Lock-step schedule: main pads, the other thread pads the SAME
+        # key, then main checks its result. With one shared cache the
+        # second pad would have overwritten main's buffer in place.
+        x_main = np.full((1, 1, 4, 4), 7.0, dtype=np.float32)
+        x_other = np.full((1, 1, 4, 4), -1.0, dtype=np.float32)
+        padded_main = conv_workspace().pad("conv", x_main, 1)
+        other_done = threading.Event()
+
+        def pad_other():
+            conv_workspace().pad("conv", x_other, 1)
+            other_done.set()
+
+        thread = threading.Thread(target=pad_other)
+        thread.start()
+        assert other_done.wait(timeout=10)
+        thread.join()
+        np.testing.assert_array_equal(
+            padded_main,
+            np.pad(x_main, ((0, 0), (0, 0), (1, 1), (1, 1))))

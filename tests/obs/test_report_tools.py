@@ -60,6 +60,21 @@ class TestPerfReportRoundTrip:
         assert [entry["run_id"] for entry in lines] == ["a", "b"]
         assert lines[1]["batched_fps"] == 11.0
 
+    def test_history_append_never_leaves_a_torn_line(self, tmp_path):
+        # The durability contract: payload + newline go down in ONE write
+        # and are fsynced before close, so after any append the file is a
+        # whole number of parseable lines — even for multi-KB records.
+        path = str(tmp_path / "BENCH_history.jsonl")
+        big = {"run_id": "big", "payload": {f"metric_{i}": float(i)
+                                            for i in range(2000)}}
+        append_jsonl(path, big)
+        append_jsonl(path, {"run_id": "after"})
+        raw = open(path).read()
+        assert raw.endswith("\n")
+        parsed = [json.loads(line) for line in raw.splitlines()]
+        assert [entry["run_id"] for entry in parsed] == ["big", "after"]
+        assert parsed[0]["payload"]["metric_1999"] == 1999.0
+
 
 def make_run(directory, marker=0.0, fail=False):
     try:

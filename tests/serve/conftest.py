@@ -1,0 +1,32 @@
+"""Shared fixtures for the serving-layer tests.
+
+Everything runs at the laptop-scale detector profile (64², width 0.25)
+so even the spawn-based pool tests finish in seconds on one core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.config import TinyYoloConfig
+from repro.detection.model import TinyYolo
+
+INPUT_SIZE = 64
+
+
+@pytest.fixture(scope="module")
+def detector():
+    model = TinyYolo(TinyYoloConfig(input_size=INPUT_SIZE,
+                                    width_multiplier=0.25))
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def make_frames():
+    def _make(count: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return [rng.random((3, INPUT_SIZE, INPUT_SIZE)).astype(np.float32)
+                for _ in range(count)]
+    return _make

@@ -1,0 +1,168 @@
+"""DetectionServer semantics on the in-process backend (``workers=0``).
+
+No child processes: these tests pin down admission control, shed /
+timeout / cancel behaviour, response ordering, parity with direct
+inference, and the asyncio facade — fast enough to run everywhere.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.detection.decode import batched_detections
+from repro.serve import (
+    AdmissionError,
+    DetectionServer,
+    RequestStatus,
+    ServeConfig,
+    ServerClosed,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def inproc_config(**overrides):
+    defaults = dict(workers=0, max_batch=4, batch_window_s=0.005,
+                    queue_capacity=16, max_sessions=4, deadline_s=30.0)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def test_parity_and_ordering_with_direct_inference(detector, make_frames):
+    frames = make_frames(10, seed=11)
+    server = DetectionServer(detector, inproc_config())
+    try:
+        session = server.open_session("client-a")
+        futures = [server.submit(session, frame) for frame in frames]
+        responses = [future.result(timeout=30) for future in futures]
+    finally:
+        server.close()
+
+    assert [resp.seq for resp in responses] == list(range(10))
+    assert all(resp.status == RequestStatus.OK for resp in responses)
+    assert all(resp.degraded for resp in responses)  # inproc == degraded
+
+    reference = batched_detections(detector, frames, conf_threshold=0.3,
+                                   iou_threshold=0.45, max_detections=50,
+                                   batch_size=4)
+    for resp, want in zip(responses, reference):
+        assert len(resp.detections) == len(want)
+        for got, ref in zip(resp.detections, want):
+            assert got.class_id == ref.class_id
+            np.testing.assert_allclose(got.box_xyxy, ref.box_xyxy, atol=1e-4)
+            assert got.score == pytest.approx(ref.score, abs=1e-5)
+
+
+def test_burst_past_capacity_sheds_instead_of_queueing(detector, make_frames):
+    # Window far longer than the burst: the queue cannot drain mid-burst,
+    # so requests past the slot capacity must be rejected immediately.
+    config = inproc_config(queue_capacity=2, max_batch=8, batch_window_s=0.5)
+    server = DetectionServer(detector, config)
+    try:
+        session = server.open_session("bursty")
+        futures = [server.submit(session, frame)
+                   for frame in make_frames(5, seed=2)]
+        # Shed responses resolve instantly, before the batch window.
+        shed_now = [f for f in futures if f.done()
+                    and f.result().status == RequestStatus.SHED]
+        assert len(shed_now) == 3
+        assert all(not f.result().detections for f in shed_now)
+        responses = [future.result(timeout=30) for future in futures]
+    finally:
+        server.close()
+    statuses = [resp.status for resp in responses]
+    assert statuses.count(RequestStatus.OK) == 2
+    snap = server.snapshot()
+    assert snap["shed"] == 3
+    assert snap["accepted"] == 2
+    assert snap["max_queue_depth"] <= config.queue_capacity
+
+
+def test_deadline_expires_queued_request(detector, make_frames):
+    # Deadline shorter than the batch window: the request times out in
+    # the queue before any batch is cut.
+    config = inproc_config(deadline_s=0.02, batch_window_s=5.0, max_batch=8)
+    server = DetectionServer(detector, config)
+    try:
+        session = server.open_session("slowpoke")
+        future = server.submit(session, make_frames(1)[0])
+        response = future.result(timeout=10)
+        assert response.status == RequestStatus.TIMEOUT
+        assert not response.detections
+    finally:
+        server.close()
+    assert server.snapshot()["timeouts"] == 1
+
+
+def test_admission_control_caps_sessions(detector):
+    server = DetectionServer(detector, inproc_config(max_sessions=2))
+    try:
+        server.open_session("a")
+        second = server.open_session("b")
+        with pytest.raises(AdmissionError):
+            server.open_session("c")
+        assert server.snapshot()["admission_rejected"] == 1
+        server.close_session(second)
+        server.open_session("d")  # freed capacity is reusable
+    finally:
+        server.close()
+
+
+def test_submit_after_close_raises(detector, make_frames):
+    server = DetectionServer(detector, inproc_config())
+    session = server.open_session("late")
+    server.close()
+    with pytest.raises(ServerClosed):
+        server.submit(session, make_frames(1)[0])
+
+
+def test_close_without_drain_cancels_queued_requests(detector, make_frames):
+    config = inproc_config(batch_window_s=10.0, max_batch=8)
+    server = DetectionServer(detector, config)
+    session = server.open_session("doomed")
+    futures = [server.submit(session, frame) for frame in make_frames(3)]
+    server.close(drain=False)
+    statuses = {future.result(timeout=5).status for future in futures}
+    assert statuses <= {RequestStatus.CANCELLED, RequestStatus.OK}
+    assert RequestStatus.CANCELLED in statuses
+
+
+def test_drain_close_completes_queued_requests(detector, make_frames):
+    config = inproc_config(batch_window_s=10.0, max_batch=8)
+    server = DetectionServer(detector, config)
+    session = server.open_session("drained")
+    futures = [server.submit(session, frame) for frame in make_frames(3)]
+    server.close(drain=True)
+    responses = [future.result(timeout=5) for future in futures]
+    assert all(resp.status == RequestStatus.OK for resp in responses)
+
+
+def test_asyncio_facade(detector, make_frames):
+    frames = make_frames(6, seed=9)
+    server = DetectionServer(detector, inproc_config())
+
+    async def drive():
+        session = server.open_session("async-client")
+        awaitables = [server.submit_async(session, frame) for frame in frames]
+        return await asyncio.gather(*awaitables)
+
+    try:
+        responses = asyncio.run(drive())
+    finally:
+        server.close()
+    assert [resp.seq for resp in responses] == list(range(6))
+    assert all(resp.status == RequestStatus.OK for resp in responses)
+
+
+def test_snapshot_reports_inproc_mode(detector, make_frames):
+    server = DetectionServer(detector, inproc_config())
+    try:
+        session = server.open_session("s")
+        server.submit(session, make_frames(1)[0]).result(timeout=10)
+    finally:
+        server.close()
+    snap = server.snapshot()
+    assert snap["mode"] == "inproc"
+    assert snap["degraded"] is True
+    assert snap["ok"] == 1

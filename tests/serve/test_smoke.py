@@ -1,0 +1,29 @@
+"""Tiny-config serve smoke test: the quick-start path from EXPERIMENTS.md
+in miniature — open a session, stream a few frames, read the snapshot.
+"""
+
+import pytest
+
+from repro.serve import DetectionServer, RequestStatus, ServeConfig
+
+pytestmark = pytest.mark.serve
+
+
+def test_serve_smoke(detector, make_frames):
+    server = DetectionServer(
+        detector,
+        ServeConfig(workers=1, max_batch=2, batch_window_s=0.005,
+                    queue_capacity=8, deadline_s=60.0, task_timeout_s=30.0),
+    )
+    try:
+        session = server.open_session("smoke")
+        futures = [server.submit(session, frame)
+                   for frame in make_frames(4, seed=1)]
+        responses = [future.result(timeout=120) for future in futures]
+    finally:
+        server.close()
+    assert [resp.status for resp in responses] == [RequestStatus.OK] * 4
+    snap = server.snapshot()
+    assert snap["accepted"] == 4
+    assert snap["ok"] == 4
+    assert snap["batches"] >= 1
