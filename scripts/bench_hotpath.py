@@ -43,6 +43,7 @@ from repro.obs import (  # noqa: E402
     config_digest,
     host_info,
 )
+from repro.obs.history import check_trend  # noqa: E402
 from repro.perf import LayerProfiler, PerfRecorder, load_report, write_report  # noqa: E402
 
 DEFAULT_REPORT = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
@@ -198,6 +199,21 @@ def check_regression(report_path: str, payload: dict) -> int:
     return 0
 
 
+def check_history_trend(history_path: str, payload: dict) -> int:
+    """Second half of the --check gate: the fresh number against the
+    robust median/MAD trend of the append-only history (a single
+    committed report can itself be a lucky outlier; the trailing window
+    cannot)."""
+    if not history_path or not os.path.exists(history_path):
+        print("trend: no history file — pass")
+        return 0
+    verdict = check_trend(history_path, "av_pipeline_hotpath",
+                          "batched_fps", payload["batched_fps"],
+                          direction="higher")
+    print(verdict.describe())
+    return 0 if verdict.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--frames", type=int, default=48)
@@ -238,6 +254,7 @@ def main(argv=None) -> int:
     status = 0
     if args.check:
         status = check_regression(args.output, payload)
+        status = max(status, check_history_trend(args.history, payload))
     else:
         write_report(args.output, payload)
         print(f"wrote {os.path.abspath(args.output)}")

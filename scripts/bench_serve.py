@@ -48,6 +48,8 @@ from repro.obs import (  # noqa: E402
     config_digest,
     host_info,
 )
+from repro.obs.history import check_trend  # noqa: E402
+from repro.obs.live import LiveConfig  # noqa: E402
 from repro.perf import load_report, write_report  # noqa: E402
 from repro.serve import DetectionServer, RequestStatus, ServeConfig  # noqa: E402
 
@@ -256,7 +258,12 @@ def warm_up(args: argparse.Namespace, server: DetectionServer) -> None:
 def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
     detector = build_detector(args)
 
-    server = DetectionServer(detector, serve_config(args), obs=obs)
+    live = None
+    if obs is not None and args.live:
+        live = LiveConfig(interval_s=args.live_interval,
+                          rules=tuple(args.slo))
+    server = DetectionServer(detector, serve_config(args), obs=obs,
+                             live=live)
     try:
         warm_up(args, server)
         steady = run_closed_loop(args, server)
@@ -326,6 +333,25 @@ def check_regression(report_path: str, payload: dict) -> int:
     return status
 
 
+def check_history_trend(history_path: str, payload: dict) -> int:
+    """Second half of the --check gate: both steady-state headline
+    numbers against the robust median/MAD band of the append-only
+    history — throughput must not fall below it, tail latency must not
+    climb above it."""
+    if not history_path or not os.path.exists(history_path):
+        print("trend: no history file — pass")
+        return 0
+    status = 0
+    for metric, direction in (("sustained_fps", "higher"),
+                              ("latency_p99_ms", "lower")):
+        verdict = check_trend(history_path, "detection_serve", metric,
+                              payload[metric], direction=direction)
+        print(verdict.describe())
+        if not verdict.ok:
+            status = 1
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clients", type=int, default=8,
@@ -347,10 +373,26 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-dir", default=None,
                         help="also record a repro.obs run under this "
                              "directory")
+    parser.add_argument("--live", action="store_true",
+                        help="attach live telemetry (requires --obs-dir): "
+                             "ring-buffer series, SLO alerts, live.json — "
+                             "watch with scripts/obs_dashboard.py --follow")
+    parser.add_argument("--live-interval", type=float, default=0.25,
+                        help="live sampler tick period (seconds)")
+    parser.add_argument("--slo", action="append", default=None,
+                        help="SLO rule (repeatable; replaces the default "
+                             "set), e.g. 'serve.latency_p99_ms < 120'")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed report instead "
                              "of overwriting it; exit 1 past tolerance")
     args = parser.parse_args(argv)
+    if args.slo is None:
+        args.slo = ["serve.latency_p99_ms < 500",
+                    "serve.shed_rate < 0.05",
+                    "serve.respawns_per_min < 2"]
+    if args.live and not args.obs_dir:
+        parser.error("--live requires --obs-dir (telemetry files land in "
+                     "the run directory)")
 
     if args.obs_dir:
         with Run(args.obs_dir, name="bench_serve",
@@ -377,6 +419,7 @@ def main(argv=None) -> int:
     status = 0
     if args.check:
         status = check_regression(args.output, payload)
+        status = max(status, check_history_trend(args.history, payload))
     else:
         write_report(args.output, payload)
         print(f"wrote {os.path.abspath(args.output)}")

@@ -55,6 +55,7 @@ from repro.obs import (  # noqa: E402
     config_digest,
     host_info,
 )
+from repro.obs.history import check_trend  # noqa: E402
 from repro.perf import PerfRecorder, load_report, write_report  # noqa: E402
 from repro.runtime import RuntimeConfig  # noqa: E402
 from repro.scene.video import AttackScenario  # noqa: E402
@@ -243,6 +244,21 @@ def check_regression(report_path: str, payload: dict) -> int:
     return 0
 
 
+def check_history_trend(history_path: str, payload: dict) -> int:
+    """Second half of the --check gate: judge the fresh parallel
+    throughput against the robust median/MAD band of the append-only
+    history (insufficient history passes — a young trend cannot veto)."""
+    if not history_path or not os.path.exists(history_path):
+        print("trend: no history file — pass")
+        return 0
+    verdict = check_trend(history_path, "parallel_train_engine",
+                          "parallel_steps_per_sec",
+                          payload["parallel_steps_per_sec"],
+                          direction="higher")
+    print(verdict.describe())
+    return 0 if verdict.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--steps", type=int, default=20)
@@ -294,6 +310,7 @@ def main(argv=None) -> int:
     status = 0
     if args.check:
         status = check_regression(args.output, payload)
+        status = max(status, check_history_trend(args.history, payload))
     else:
         write_report(args.output, payload)
         print(f"wrote {os.path.abspath(args.output)}")

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Live TTY dashboard / static HTML report / flamegraph export for a run.
+
+Consumes the observability artifacts a run directory accumulates —
+``manifest.json``, ``serve_stats.json``, ``live.json``, ``alerts.jsonl``,
+``trace.jsonl`` / ``serve_trace.jsonl`` — all of which are written
+atomically or append-durably, so this tool can watch a directory while
+the producer is still running (or after it was SIGKILLed) without ever
+seeing a torn file.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR               # one-shot TTY
+    PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --follow      # live refresh
+    PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --html out.html
+    PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --flamegraph out.json
+    PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --history BENCH_history.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import (  # noqa: E402
+    gather_dashboard,
+    render_html,
+    render_tty,
+    trace_to_speedscope,
+    validate_speedscope,
+)
+from repro.obs.trace import load_trace  # noqa: E402
+
+
+def export_flamegraph(run_dir: str, out_path: str, trace_name: str) -> int:
+    """Write a speedscope-compatible profile from a recorded span trace."""
+    candidates = ([trace_name] if trace_name
+                  else ["trace.jsonl", "serve_trace.jsonl", "live_trace.jsonl"])
+    trace_path = None
+    for name in candidates:
+        path = name if os.path.isabs(name) else os.path.join(run_dir, name)
+        if os.path.exists(path):
+            trace_path = path
+            break
+    if trace_path is None:
+        print(f"no trace file found in {run_dir} (tried: {candidates})")
+        return 1
+    spans = load_trace(trace_path)
+    document = trace_to_speedscope(
+        spans, name=os.path.basename(trace_path))
+    problems = validate_speedscope(document)
+    if problems:
+        print("refusing to write an invalid speedscope file:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    with open(out_path, "w") as handle:
+        json.dump(document, handle)
+    print(f"wrote {os.path.abspath(out_path)} "
+          f"({len(spans)} spans from {trace_path}) — open at "
+          f"https://www.speedscope.app")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run_dir", help="run directory (repro.obs.Run / "
+                                        "DetectionServer obs directory)")
+    parser.add_argument("--follow", action="store_true",
+                        help="clear and re-render the TTY view until ^C")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="refresh period with --follow (seconds)")
+    parser.add_argument("--html", metavar="OUT",
+                        help="write a static self-contained HTML report")
+    parser.add_argument("--flamegraph", metavar="OUT",
+                        help="write speedscope-compatible flamegraph JSON "
+                             "from the run's span trace")
+    parser.add_argument("--trace", default="",
+                        help="trace file for --flamegraph (default: first of "
+                             "trace.jsonl / serve_trace.jsonl / "
+                             "live_trace.jsonl)")
+    parser.add_argument("--history", default="",
+                        help="also summarize a BENCH_history.jsonl trend file")
+    parser.add_argument("--alerts-tail", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.run_dir):
+        print(f"not a directory: {args.run_dir}")
+        return 1
+
+    def gather():
+        return gather_dashboard(args.run_dir, alerts_tail=args.alerts_tail,
+                                history_path=args.history or None)
+
+    # --flamegraph and --html compose; either (or both) suppresses the TTY view.
+    status = 0
+    if args.flamegraph:
+        status = export_flamegraph(args.run_dir, args.flamegraph, args.trace)
+
+    if args.html:
+        html = render_html(gather())
+        with open(args.html, "w") as handle:
+            handle.write(html)
+        print(f"wrote {os.path.abspath(args.html)}")
+
+    if args.flamegraph or args.html:
+        return status
+
+    if args.follow:
+        try:
+            while True:
+                frame = render_tty(gather())
+                sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                sys.stdout.flush()
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+    print(render_tty(gather()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,32 @@ Everything is stdlib + numpy, and every instrumented path takes
 ``perf=None`` convention of :mod:`repro.perf`.
 """
 
+from .export import (
+    SPEEDSCOPE_SCHEMA,
+    gather_dashboard,
+    render_html,
+    render_tty,
+    sparkline,
+    trace_to_speedscope,
+    validate_speedscope,
+)
+from .history import (
+    HistoryLoadResult,
+    TrendVerdict,
+    check_trend,
+    detect_regression,
+    load_history,
+    metric_series,
+    trend_summary,
+)
+from .live import (
+    LIVE_SNAPSHOT_NAME,
+    LiveConfig,
+    LiveTelemetry,
+    Rollup,
+    Timeseries,
+    load_live_snapshot,
+)
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, Metrics
 from .report import (
     LoadedRun,
@@ -42,6 +68,7 @@ from .run import (
     span_scope,
     write_json_atomic,
 )
+from .slo import Alert, SloEngine, SloRule, SloRuleError, load_alerts
 from .trace import SpanNode, SpanRecord, Tracer, build_tree, load_trace
 
 __all__ = [
@@ -71,4 +98,32 @@ __all__ = [
     "render_diff",
     "metric_deltas",
     "span_path_totals",
+    # live telemetry (DESIGN.md §12)
+    "Timeseries",
+    "Rollup",
+    "LiveConfig",
+    "LiveTelemetry",
+    "LIVE_SNAPSHOT_NAME",
+    "load_live_snapshot",
+    "SloRule",
+    "SloRuleError",
+    "SloEngine",
+    "Alert",
+    "load_alerts",
+    # history trends
+    "HistoryLoadResult",
+    "TrendVerdict",
+    "load_history",
+    "metric_series",
+    "detect_regression",
+    "check_trend",
+    "trend_summary",
+    # exports
+    "SPEEDSCOPE_SCHEMA",
+    "trace_to_speedscope",
+    "validate_speedscope",
+    "gather_dashboard",
+    "render_tty",
+    "render_html",
+    "sparkline",
 ]

@@ -1,0 +1,236 @@
+"""`BENCH_history.jsonl` trend analysis: load, summarize, detect regressions.
+
+Every bench script appends one manifest-stamped line per invocation to the
+append-only history file (PR 3), and since PR 6 those appends are
+fsync-durable — but nothing ever *read* the trajectory back. This module
+is the reader: a tolerant loader, per-benchmark trend summaries for the
+dashboard, and a robust regression detector the ``bench_* --check`` gates
+call in addition to their single-number committed-report comparison.
+
+The detector is deliberately robust statistics, not a mean/σ band: bench
+numbers on shared CI boxes have heavy-tailed noise (one loaded run would
+poison a mean), so the baseline is the **median** of the trailing window
+and the band is scaled **MAD** (median absolute deviation, ×1.4826 to be
+σ-consistent under normality) with a relative floor — a window of
+identical values must not produce a zero-width band that fails on the
+first rounding wobble. With fewer than ``min_points`` trailing samples
+the verdict is ``"insufficient"`` and the gate passes: a young history
+cannot veto a change.
+
+Loader contract (satellite fix): files written before the fsync-durable
+append can end in a torn or non-JSON line; :func:`load_history` *skips
+and counts* such lines instead of raising, so one corrupt byte never
+bricks every ``--check`` gate downstream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["HistoryLoadResult", "TrendVerdict", "load_history",
+           "metric_series", "detect_regression", "check_trend",
+           "trend_summary"]
+
+#: σ-consistency constant for MAD under a normal distribution.
+MAD_SCALE = 1.4826
+#: Default band half-width in scaled MADs.
+DEFAULT_N_MADS = 4.0
+#: Relative floor on the band half-width (fraction of |median|) so an
+#: all-identical window still tolerates small wobble.
+DEFAULT_REL_FLOOR = 0.10
+#: Default trailing-window length and the minimum points to judge at all.
+DEFAULT_WINDOW = 8
+DEFAULT_MIN_POINTS = 4
+
+
+@dataclass
+class HistoryLoadResult:
+    """Parsed history lines plus the corruption tally."""
+
+    records: List[dict]
+    bad_lines: int
+    path: str
+
+    def benchmarks(self) -> List[str]:
+        return sorted({str(r.get("benchmark", "?")) for r in self.records})
+
+
+def load_history(path: str, benchmark: Optional[str] = None) -> HistoryLoadResult:
+    """Read a ``BENCH_history.jsonl`` file, skipping unparseable lines.
+
+    A line counts as bad when it is not valid JSON or not a JSON object
+    (torn tail from a pre-durability writer, editor droppings, partial
+    copies). Blank lines are ignored silently — they carry no data and
+    appear in hand-edited files.
+    """
+    records: List[dict] = []
+    bad = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                bad += 1
+                continue
+            if not isinstance(record, dict):
+                bad += 1
+                continue
+            if benchmark is not None and record.get("benchmark") != benchmark:
+                continue
+            records.append(record)
+    return HistoryLoadResult(records=records, bad_lines=bad, path=path)
+
+
+def metric_series(history: HistoryLoadResult, benchmark: str,
+                  metric: str) -> List[float]:
+    """Chronological values of one metric for one benchmark (file order —
+    the file is append-only, so file order is time order)."""
+    values: List[float] = []
+    for record in history.records:
+        if record.get("benchmark") != benchmark:
+            continue
+        value = record.get(metric)
+        if isinstance(value, (int, float)) and np.isfinite(value):
+            values.append(float(value))
+    return values
+
+
+@dataclass
+class TrendVerdict:
+    """Outcome of one regression check.
+
+    ``status`` is ``"ok"``, ``"regression"``, or ``"insufficient"`` (not
+    enough trailing points to judge — treated as passing by the gates).
+    """
+
+    status: str
+    benchmark: str
+    metric: str
+    direction: str              # "higher" | "lower" is better
+    value: Optional[float]
+    median: Optional[float] = None
+    mad: Optional[float] = None
+    band: Optional[float] = None
+    points: int = 0
+    bad_lines: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "regression"
+
+    def describe(self) -> str:
+        label = f"{self.benchmark}.{self.metric}"
+        if self.status == "insufficient":
+            return (f"trend {label}: insufficient history "
+                    f"({self.points} points) — pass")
+        bound = ("floor" if self.direction == "higher" else "ceiling")
+        limit = (self.median - self.band if self.direction == "higher"
+                 else self.median + self.band)
+        verdict = "OK" if self.ok else "REGRESSION"
+        return (f"trend {label}: {verdict}  value={self.value:g}  "
+                f"median={self.median:g}  mad={self.mad:g}  "
+                f"{bound}={limit:g}  ({self.points} points"
+                + (f", {self.bad_lines} bad lines skipped" if self.bad_lines
+                   else "") + ")")
+
+
+def detect_regression(trailing: Sequence[float], value: float,
+                      direction: str = "higher",
+                      n_mads: float = DEFAULT_N_MADS,
+                      rel_floor: float = DEFAULT_REL_FLOOR,
+                      min_points: int = DEFAULT_MIN_POINTS) -> TrendVerdict:
+    """Judge ``value`` against the trailing window with median/MAD bands.
+
+    ``direction="higher"`` means larger is better (fps, steps/sec) and a
+    regression is ``value < median - band``; ``"lower"`` means smaller is
+    better (latency) and a regression is ``value > median + band``, where
+    ``band = max(n_mads * MAD_SCALE * mad, rel_floor * |median|)``.
+    """
+    if direction not in ("higher", "lower"):
+        raise ValueError(f"direction must be 'higher' or 'lower', "
+                         f"got {direction!r}")
+    trailing = [float(v) for v in trailing if np.isfinite(v)]
+    if len(trailing) < min_points:
+        return TrendVerdict(status="insufficient", benchmark="", metric="",
+                            direction=direction, value=value,
+                            points=len(trailing))
+    window = np.asarray(trailing, dtype=np.float64)
+    median = float(np.median(window))
+    mad = float(np.median(np.abs(window - median)))
+    band = max(n_mads * MAD_SCALE * mad, rel_floor * abs(median))
+    if direction == "higher":
+        regressed = value < median - band
+    else:
+        regressed = value > median + band
+    return TrendVerdict(status="regression" if regressed else "ok",
+                        benchmark="", metric="", direction=direction,
+                        value=value, median=median, mad=mad, band=band,
+                        points=len(trailing))
+
+
+def check_trend(path: str, benchmark: str, metric: str, value: float,
+                direction: str = "higher", window: int = DEFAULT_WINDOW,
+                n_mads: float = DEFAULT_N_MADS,
+                rel_floor: float = DEFAULT_REL_FLOOR,
+                min_points: int = DEFAULT_MIN_POINTS) -> TrendVerdict:
+    """Check a fresh measurement against the trailing committed history.
+
+    The window is the last ``window`` recorded values of ``metric`` for
+    ``benchmark`` (the fresh ``value`` itself is *not* in the file yet —
+    bench scripts append after gating).
+    """
+    history = load_history(path, benchmark=benchmark)
+    values = metric_series(history, benchmark, metric)[-window:]
+    verdict = detect_regression(values, value, direction=direction,
+                                n_mads=n_mads, rel_floor=rel_floor,
+                                min_points=min_points)
+    verdict.benchmark = benchmark
+    verdict.metric = metric
+    verdict.bad_lines = history.bad_lines
+    return verdict
+
+
+def trend_summary(path: str, window: int = DEFAULT_WINDOW) -> dict:
+    """Dashboard view: per-benchmark, per-metric trailing rollups.
+
+    Summarizes every numeric field that appears in a benchmark's records
+    (excluding bookkeeping fields), with median/MAD/latest over the
+    trailing window.
+    """
+    skip = {"unix_time", "status", "schema_version"}
+    history = load_history(path)
+    out: Dict[str, Dict[str, dict]] = {}
+    for benchmark in history.benchmarks():
+        metrics: Dict[str, dict] = {}
+        names = set()
+        for record in history.records:
+            if record.get("benchmark") != benchmark:
+                continue
+            names.update(
+                name for name, value in record.items()
+                if name not in skip and isinstance(value, (int, float))
+                and not isinstance(value, bool))
+        for name in sorted(names):
+            values = metric_series(history, benchmark, name)[-window:]
+            if not values:
+                continue
+            window_arr = np.asarray(values, dtype=np.float64)
+            median = float(np.median(window_arr))
+            metrics[name] = {
+                "latest": values[-1],
+                "median": median,
+                "mad": float(np.median(np.abs(window_arr - median))),
+                "min": float(window_arr.min()),
+                "max": float(window_arr.max()),
+                "points": len(values),
+            }
+        out[benchmark] = metrics
+    return {"path": history.path, "bad_lines": history.bad_lines,
+            "benchmarks": out}

@@ -101,6 +101,36 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-th percentile from the bucket counts.
+
+        Returns ``None`` for an empty histogram. The estimate interpolates
+        linearly within the bucket holding the target rank, clamped to the
+        observed ``[min, max]`` — so a single-sample histogram returns that
+        sample exactly, and the top bucket (upper bound ``+inf``) resolves
+        to the observed max rather than infinity.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} must be in [0, 100]")
+        if self.count == 0:
+            return None
+        target = (q / 100.0) * self.count
+        if target <= 0:
+            return self.min
+        cumulative = 0
+        lower = self.min
+        for bound, count in zip(self.bounds, self.counts):
+            if count == 0:
+                continue
+            upper = min(bound, self.max)
+            if cumulative + count >= target:
+                fraction = (target - cumulative) / count
+                value = lower + fraction * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cumulative += count
+            lower = max(lower, upper)
+        return self.max
+
     def summary(self) -> dict:
         return {
             "count": self.count,

@@ -1,0 +1,250 @@
+"""SLO rules and the alerting engine evaluated on each live-sampler tick.
+
+A rule is one comparison over a named telemetry value, written the way an
+operator would say it::
+
+    p99_latency_ms < 120
+    serve.shed_rate < 0.05
+    pool.respawns_per_min < 2
+
+The *comparison states the objective* (what healthy looks like); an alert
+fires when the observation violates it. Evaluation is edge-triggered:
+a rule emits exactly one ``violation`` alert when it crosses from healthy
+to violated (after ``for_ticks`` consecutive violating samples, default 1)
+and exactly one ``recovery`` alert when it crosses back — never one alert
+per violating tick, so a sustained breach is two lines in
+``alerts.jsonl``, not thousands.
+
+Alerts are structured events. Each one is
+
+* appended durably to ``alerts.jsonl`` (single write + fsync, the
+  :func:`repro.obs.run.append_jsonl` idiom — a SIGKILL leaves whole lines
+  or nothing);
+* emitted into the trace stream as an instantaneous ``slo.alert`` span
+  carrying the rule, value, and threshold as attributes;
+* counted into the metrics registry (``slo.violations`` /
+  ``slo.recoveries`` plus a per-rule counter) when one is attached.
+
+The engine is pure state-machine logic over ``(now, {name: value})``
+dicts, so tests drive it with a fake clock and literal samples.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .run import append_jsonl
+
+__all__ = ["SloRule", "SloRuleError", "Alert", "RuleState", "SloEngine",
+           "load_alerts", "ALERT_SCHEMA_VERSION"]
+
+ALERT_SCHEMA_VERSION = 1
+
+#: metric name: dotted identifiers; op; numeric threshold.
+_RULE_RE = re.compile(
+    r"^\s*(?P<metric>[A-Za-z_][\w.]*)\s*"
+    r"(?P<op><=|>=|<|>)\s*"
+    r"(?P<threshold>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s*$"
+)
+
+_OPS = {
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+}
+
+
+class SloRuleError(ValueError):
+    """A rule string does not parse (bad metric, operator, or threshold)."""
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One service-level objective: ``metric OP threshold``.
+
+    ``for_ticks`` debounces flappy signals: the rule only transitions to
+    violated after that many *consecutive* violating samples. A missing
+    metric on a tick neither violates nor heals — the streak is simply
+    not advanced (the producer may not have started yet).
+    """
+
+    metric: str
+    op: str
+    threshold: float
+    for_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise SloRuleError(f"unknown operator {self.op!r}")
+        if self.for_ticks < 1:
+            raise SloRuleError("for_ticks must be >= 1")
+
+    @classmethod
+    def parse(cls, text: str, for_ticks: int = 1) -> "SloRule":
+        match = _RULE_RE.match(text)
+        if match is None:
+            raise SloRuleError(
+                f"cannot parse SLO rule {text!r} "
+                f"(expected 'metric < threshold', ops: < <= > >=)")
+        return cls(metric=match.group("metric"), op=match.group("op"),
+                   threshold=float(match.group("threshold")),
+                   for_ticks=for_ticks)
+
+    def healthy(self, value: float) -> bool:
+        """True when ``value`` satisfies the objective."""
+        return _OPS[self.op](value, self.threshold)
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One emitted SLO transition event (JSON-ready via :meth:`to_json`)."""
+
+    t: float
+    kind: str          # "violation" | "recovery"
+    rule: str
+    metric: str
+    value: float
+    threshold: float
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": ALERT_SCHEMA_VERSION,
+            "t": self.t,
+            "kind": self.kind,
+            "rule": self.rule,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Alert":
+        return cls(t=float(payload["t"]), kind=str(payload["kind"]),
+                   rule=str(payload["rule"]), metric=str(payload["metric"]),
+                   value=float(payload["value"]),
+                   threshold=float(payload["threshold"]))
+
+
+@dataclass
+class RuleState:
+    """Mutable evaluation state of one rule."""
+
+    rule: SloRule
+    violated: bool = False
+    streak: int = 0            # consecutive violating samples while healthy
+    violations: int = 0        # transitions to violated
+    samples: int = 0           # ticks that actually saw the metric
+    last_value: Optional[float] = None
+    last_change_t: Optional[float] = None
+
+
+class SloEngine:
+    """Evaluates a rule set against each sample window and emits alerts."""
+
+    def __init__(self, rules: Sequence[SloRule] = (),
+                 alerts_path: Optional[str] = None,
+                 tracer=None, metrics=None):
+        self.states: Dict[str, RuleState] = {
+            str(rule): RuleState(rule) for rule in rules}
+        self.alerts_path = alerts_path
+        self.tracer = tracer
+        self.metrics = metrics
+        self.alerts: List[Alert] = []
+
+    @property
+    def rules(self) -> Tuple[SloRule, ...]:
+        return tuple(state.rule for state in self.states.values())
+
+    def add_rule(self, rule: SloRule) -> None:
+        self.states.setdefault(str(rule), RuleState(rule))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float, values: Dict[str, float]) -> List[Alert]:
+        """One tick: check every rule whose metric was observed.
+
+        Returns the alerts emitted *this* tick (already sunk to file /
+        trace / metrics).
+        """
+        emitted: List[Alert] = []
+        for state in self.states.values():
+            rule = state.rule
+            value = values.get(rule.metric)
+            if value is None:
+                continue
+            state.samples += 1
+            state.last_value = value
+            if rule.healthy(value):
+                state.streak = 0
+                if state.violated:
+                    state.violated = False
+                    state.last_change_t = now
+                    emitted.append(Alert(now, "recovery", str(rule),
+                                         rule.metric, value, rule.threshold))
+            else:
+                state.streak += 1
+                if not state.violated and state.streak >= rule.for_ticks:
+                    state.violated = True
+                    state.violations += 1
+                    state.last_change_t = now
+                    emitted.append(Alert(now, "violation", str(rule),
+                                         rule.metric, value, rule.threshold))
+        for alert in emitted:
+            self._emit(alert)
+        return emitted
+
+    def _emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        if self.alerts_path is not None:
+            append_jsonl(self.alerts_path, alert.to_json())
+        if self.tracer is not None:
+            # An instantaneous span: the alert becomes part of the trace
+            # timeline next to the spans it explains.
+            with self.tracer.span("slo.alert", kind=alert.kind,
+                                  rule=alert.rule, metric=alert.metric,
+                                  value=alert.value,
+                                  threshold=alert.threshold):
+                pass
+        if self.metrics is not None:
+            kind = "violations" if alert.kind == "violation" else "recoveries"
+            self.metrics.counter(f"slo.{kind}").inc()
+            self.metrics.counter(f"slo.{kind}.{alert.metric}").inc()
+
+    # ------------------------------------------------------------------
+    def violated_rules(self) -> List[str]:
+        return sorted(name for name, state in self.states.items()
+                      if state.violated)
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-rule state for dashboards/snapshots."""
+        return {
+            name: {
+                "violated": state.violated,
+                "violations": state.violations,
+                "samples": state.samples,
+                "last_value": state.last_value,
+                "last_change_t": state.last_change_t,
+            }
+            for name, state in sorted(self.states.items())
+        }
+
+
+def load_alerts(path: str) -> List[Alert]:
+    """Read an ``alerts.jsonl`` file back, tolerating a torn final line."""
+    alerts: List[Alert] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                alerts.append(Alert.from_json(json.loads(line)))
+            except (ValueError, KeyError):
+                continue
+    return alerts

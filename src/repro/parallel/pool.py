@@ -320,6 +320,26 @@ class WorkerPool:
         return [h.process.pid for h in self._handles.values()
                 if h.process.pid is not None]
 
+    def probe(self) -> Dict[str, float]:
+        """Live-telemetry probe: robustness counters plus current load
+        (``repro.obs.live.LiveTelemetry.add_probe`` target). Reads are
+        GIL-atomic snapshots of counters the scheduler owns — callers on
+        other threads get a consistent-enough view for sampling, never
+        exact synchronization."""
+        in_flight = sum(1 for h in self._handles.values()
+                        if h.task is not None)
+        return {
+            "tasks": self.counters.tasks,
+            "respawns": self.counters.respawns,
+            "requeues": self.counters.requeues,
+            "timeouts": self.counters.timeouts,
+            "worker_deaths": self.counters.worker_deaths,
+            "workers_alive": sum(
+                1 for h in self._handles.values() if h.process.is_alive()),
+            "pending": len(self._pending),
+            "in_flight": in_flight,
+        }
+
     def pump(self, timeout: float = 0.0) -> List[TaskOutcome]:
         """One scheduling round; returns tasks that became terminal.
 

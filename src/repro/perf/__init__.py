@@ -21,12 +21,13 @@ zero-overhead.
 
 from .profile import LayerProfiler
 from .report import REPORT_SCHEMA_VERSION, load_report, write_report
-from .timers import PerfRecorder, StageStats, stage_scope
+from .timers import PerfRecorder, StageStats, process_stats, stage_scope
 
 __all__ = [
     "PerfRecorder",
     "StageStats",
     "stage_scope",
+    "process_stats",
     "LayerProfiler",
     "write_report",
     "load_report",

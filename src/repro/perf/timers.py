@@ -2,12 +2,34 @@
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import ContextManager, Dict, Iterator, Optional
 
-__all__ = ["StageStats", "PerfRecorder", "stage_scope"]
+__all__ = ["StageStats", "PerfRecorder", "stage_scope", "process_stats"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def process_stats() -> Dict[str, float]:
+    """Cheap self-observation: resident set size and cumulative CPU time.
+
+    Reads ``/proc/self/statm`` where available (Linux) and falls back to
+    ``os.times()`` everywhere, so the live sampler can poll it at high
+    frequency on any platform without psutil. Keys: ``rss_mb`` (0.0 when
+    unknowable) and ``cpu_seconds`` (user + system of this process).
+    """
+    rss_mb = 0.0
+    try:
+        with open("/proc/self/statm") as handle:
+            rss_pages = int(handle.read().split()[1])
+        rss_mb = rss_pages * _PAGE_SIZE / (1024.0 * 1024.0)
+    except (OSError, ValueError, IndexError):
+        pass
+    times = os.times()
+    return {"rss_mb": rss_mb, "cpu_seconds": times.user + times.system}
 
 
 @dataclass

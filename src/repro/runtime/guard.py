@@ -75,8 +75,25 @@ class DivergenceGuard:
     def __init__(self, config: Optional[GuardConfig] = None, metrics=None):
         self.config = config or GuardConfig()
         self.metrics = metrics
+        # Local trip ledger so a live sampler can poll the guard directly,
+        # without requiring a metrics registry to be attached.
+        self.trips = 0
+        self.last_trip_step: Optional[int] = None
+        self.last_trip_reason: Optional[str] = None
+
+    def probe(self) -> dict:
+        """Live-telemetry probe: cumulative trips and the last trip step
+        (``repro.obs.live.LiveTelemetry.add_probe`` target)."""
+        return {
+            "trips": self.trips,
+            "last_trip_step": (-1 if self.last_trip_step is None
+                               else self.last_trip_step),
+        }
 
     def _trip(self, step: int, name: str, reason: str) -> None:
+        self.trips += 1
+        self.last_trip_step = step
+        self.last_trip_reason = reason
         if self.metrics is not None:
             self.metrics.counter("guard.divergence").inc()
             self.metrics.counter(f"guard.divergence.{name}").inc()

@@ -32,7 +32,7 @@ from .scheduler import (
     batch_cut,
     next_wake,
 )
-from .server import DetectionServer, StreamSession
+from .server import SERVE_STATS_NAME, DetectionServer, StreamSession
 
 __all__ = [
     "AdmissionError",
@@ -49,4 +49,5 @@ __all__ = [
     "PoolBackend",
     "DetectionServer",
     "StreamSession",
+    "SERVE_STATS_NAME",
 ]

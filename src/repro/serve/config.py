@@ -62,6 +62,14 @@ class ServeConfig:
     poll_interval_s:
         Scheduler-loop result-poll granularity while batches are in
         flight.
+    stats_interval_s:
+        How often (scheduler-loop time) the server mirrors its ledger
+        into the obs metrics registry and refreshes the atomic
+        ``serve_stats.json`` snapshot — so a crashed or SIGKILLed server
+        still leaves a recent, loadable stats file behind. Mirroring is
+        delta-based, so periodic mirrors and the final one at
+        :meth:`~repro.serve.server.DetectionServer.close` never
+        double-count. Only active when an obs run is attached.
     degraded_ok:
         Permit the serial in-process fallback when the worker pool
         cannot be built or becomes unusable. ``False`` turns those
@@ -80,6 +88,7 @@ class ServeConfig:
     task_timeout_s: float = 30.0
     retry_once: bool = True
     poll_interval_s: float = 0.002
+    stats_interval_s: float = 1.0
     degraded_ok: bool = True
     debug_fail_worker_init: bool = False
 
@@ -96,6 +105,8 @@ class ServeConfig:
             raise ValueError("batch_window_s must be >= 0 and deadline_s > 0")
         if self.task_timeout_s <= 0 or self.poll_interval_s <= 0:
             raise ValueError("task_timeout_s and poll_interval_s must be > 0")
+        if self.stats_interval_s <= 0:
+            raise ValueError("stats_interval_s must be > 0")
 
     @property
     def max_task_retries(self) -> int:

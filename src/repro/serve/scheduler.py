@@ -190,6 +190,38 @@ class ServeStats:
         with self._lock:
             self.latencies_s.append(seconds)
 
+    def recent_latencies(self, n: int = 256) -> List[float]:
+        """Last ``n`` OK-request latencies (seconds), oldest first."""
+        with self._lock:
+            return list(self.latencies_s[-n:])
+
+    def probe(self) -> dict:
+        """Live-telemetry probe: flat counters plus rolling latency /
+        occupancy summaries over the most recent observations. Cheap by
+        construction (bounded slices), so a sampler can poll it at
+        sub-second intervals without perturbing the scheduler."""
+        with self._lock:
+            out = {
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "ok": self.ok,
+                "timeouts": self.timeouts,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "batches": self.batches,
+                "degraded_batches": self.degraded_batches,
+                "max_queue_depth": self.max_queue_depth,
+            }
+            latencies = self.latencies_s[-256:]
+            occupancy = self.batch_occupancy[-64:]
+        if latencies:
+            ordered = sorted(latencies)
+            out["latency_p50_ms"] = 1e3 * float(np.percentile(ordered, 50))
+            out["latency_p99_ms"] = 1e3 * float(np.percentile(ordered, 99))
+        if occupancy:
+            out["recent_batch_occupancy"] = float(np.mean(occupancy))
+        return out
+
     def snapshot(self) -> dict:
         with self._lock:
             occupancy = list(self.batch_occupancy)

@@ -42,7 +42,10 @@ import numpy as np
 
 from ..detection.model import TinyYolo
 from ..obs import Run
+from ..obs.live import LiveConfig, LiveTelemetry
+from ..obs.run import write_json_atomic
 from ..obs.trace import Tracer
+from ..perf import process_stats
 from .backends import InprocBackend, PoolBackend
 from .config import AdmissionError, ServeConfig, ServerClosed
 from .scheduler import (
@@ -56,11 +59,31 @@ from .scheduler import (
 )
 from .workers import decode_detections
 
-__all__ = ["DetectionServer", "StreamSession"]
+__all__ = ["DetectionServer", "StreamSession", "SERVE_STATS_NAME"]
+
+#: Atomic per-interval stats snapshot (``{obs.directory}/serve_stats.json``).
+SERVE_STATS_NAME = "serve_stats.json"
+SERVE_STATS_SCHEMA_VERSION = 1
 
 #: Init failures (relative to the worker count) after which the pool is
 #: declared unbuildable and the server drops to degraded mode.
 _INIT_FAILURE_FACTOR = 2
+
+
+def _shed_rate(live: LiveTelemetry, now: float) -> Optional[float]:
+    """Derived SLO input: fraction of submits shed over the live window."""
+    shed = live.rate("serve.shed", now)
+    accepted = live.rate("serve.accepted", now)
+    if shed is None or accepted is None:
+        return None
+    attempted = shed + accepted
+    return shed / attempted if attempted > 0 else 0.0
+
+
+def _respawns_per_min(live: LiveTelemetry, now: float) -> Optional[float]:
+    """Derived SLO input: worker respawns per minute over the window."""
+    rate = live.rate("serve.pool.respawns", now)
+    return None if rate is None else 60.0 * rate
 
 
 @dataclass
@@ -91,13 +114,25 @@ class DetectionServer:
     obs:
         Optional :class:`repro.obs.Run`. The scheduler thread gets its
         *own* span tracer (``serve_trace.jsonl`` in the run directory —
-        the run's main tracer is single-threaded by design) and mirrors
-        its stats into the run's metrics registry on :meth:`close`.
+        the run's main tracer is single-threaded by design), mirrors its
+        stats into the run's metrics registry every
+        ``config.stats_interval_s`` (delta-based, so the final mirror at
+        :meth:`close` never double-counts), and refreshes an atomic
+        ``serve_stats.json`` alongside — a SIGKILLed server still leaves
+        a loadable last state.
+    live:
+        Optional :class:`repro.obs.LiveConfig` (or ``True`` for the
+        defaults). Attaches a :class:`repro.obs.LiveTelemetry` sampler
+        polling the server ledger, pool health, and process RSS/CPU,
+        evaluating the configured SLO rules, and writing ``live.json`` /
+        ``alerts.jsonl`` into the obs directory. ``None`` — the default —
+        costs nothing: no thread, no probes, no files.
     """
 
     def __init__(self, detector: TinyYolo, config: Optional[ServeConfig] = None,
                  obs: Optional[Run] = None, conf_threshold: float = 0.3,
-                 iou_threshold: float = 0.45, max_detections: int = 50):
+                 iou_threshold: float = 0.45, max_detections: int = 50,
+                 live=None):
         self.config = config or ServeConfig()
         self.detector = detector.eval()
         self.obs = obs
@@ -122,6 +157,15 @@ class DetectionServer:
         self._pool_ok_batches = 0
         self._pool_failure_streak = 0
 
+        # Delta-based mirror state: what has already been folded into the
+        # obs metrics registry, so periodic mirrors + the final one at
+        # close() sum to exactly the ledger totals (no double-counting).
+        self._mirror_lock = threading.Lock()
+        self._mirrored: Dict[str, float] = {}
+        self._mirrored_latencies = 0
+        self._mirrored_occupancy = 0
+        self._last_mirror_t = time.monotonic()
+
         self._store = FrameStore(detector.config.input_size,
                                  self.config.queue_capacity)
         self._backend = self._build_backend()
@@ -130,9 +174,28 @@ class DetectionServer:
             self._tracer = Tracer(
                 sink_path=os.path.join(obs.directory, "serve_trace.jsonl"))
 
+        self.live: Optional[LiveTelemetry] = None
+        if live is not None and live is not False:
+            live_config = live if isinstance(live, LiveConfig) else LiveConfig()
+            self.live = LiveTelemetry(
+                directory=obs.directory if obs is not None else None,
+                config=live_config,
+                metrics=obs.metrics if obs is not None else None)
+            self.live.add_probe("serve", self.probe)
+            self.live.add_probe("proc", process_stats)
+            self.live.add_derived("serve.shed_rate", _shed_rate)
+            self.live.add_derived("serve.respawns_per_min", _respawns_per_min)
+            if obs is not None:
+                # Satellite of the durability contract: refresh the stats
+                # mirror + atomic serve_stats.json on *every* sampler tick,
+                # not just at close.
+                self.live.add_snapshot_writer(self.mirror_stats)
+
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="repro-serve-scheduler")
         self._thread.start()
+        if self.live is not None:
+            self.live.start()
 
     # -- construction ---------------------------------------------------
     def _inproc_backend(self) -> InprocBackend:
@@ -242,6 +305,21 @@ class DetectionServer:
         })
         return out
 
+    def probe(self) -> dict:
+        """Live-telemetry probe (``LiveTelemetry.add_probe`` target):
+        flat scalars — ledger counters, rolling latency percentiles,
+        current queue depth, batch fill, and pool health."""
+        out = self.stats.probe()
+        out["queue_depth"] = self._store.in_use
+        out["degraded"] = 1.0 if self.degraded else 0.0
+        occupancy = out.get("recent_batch_occupancy")
+        if occupancy is not None:
+            out["batch_fill"] = occupancy / self.config.max_batch
+        counters = self._backend.counters
+        for attr in ("respawns", "requeues", "timeouts", "worker_deaths"):
+            out[f"pool.{attr}"] = getattr(counters, attr)
+        return out
+
     # -- shutdown -------------------------------------------------------
     def close(self, drain: bool = True) -> None:
         """Stop the server. ``drain=True`` completes all admitted work
@@ -254,10 +332,13 @@ class DetectionServer:
             self._abort = not drain
             self._cond.notify_all()
         self._thread.join(timeout=max(60.0, 4 * self.config.task_timeout_s))
+        if self.live is not None:
+            # Final sampler tick runs the serve_stats mirror one last time.
+            self.live.stop()
         self._backend.close()
         self._store.close()
         if self.obs is not None:
-            self.publish(self.obs)
+            self.mirror_stats()  # mop up deltas since the last tick
         if self._tracer is not None:
             self._tracer.flush()
 
@@ -268,33 +349,63 @@ class DetectionServer:
         self.close()
 
     def publish(self, obs: Run) -> None:
-        """Mirror the server ledger into an obs metrics registry."""
-        snap = self.stats.snapshot()
-        metrics = obs.metrics
-        for key in ("accepted", "shed", "ok", "timeouts", "failed",
-                    "cancelled", "batches", "degraded_batches",
-                    "admission_rejected"):
-            value = snap.get(key, 0)
-            if value:
-                metrics.counter(f"serve.{key}").inc(value)
-        metrics.gauge("serve.max_queue_depth").set(snap["max_queue_depth"])
-        metrics.gauge("serve.mean_batch_occupancy").set(
-            snap["mean_batch_occupancy"])
-        counters = self._backend.counters
-        for attr in ("respawns", "requeues", "timeouts", "worker_deaths"):
-            value = getattr(counters, attr)
-            if value:
-                metrics.counter(f"serve.pool.{attr}").inc(value)
-        with self.stats._lock:
-            latencies = list(self.stats.latencies_s)
-            occupancy = list(self.stats.batch_occupancy)
-        latency_hist = metrics.histogram("serve.latency_s")
-        for value in latencies:
-            latency_hist.observe(value)
-        occupancy_hist = metrics.histogram(
-            "serve.batch_occupancy", buckets=(1, 2, 4, 8, 16, 32, float("inf")))
-        for value in occupancy:
-            occupancy_hist.observe(value)
+        """Mirror the server ledger into an obs metrics registry.
+
+        Delta-based: only counts not yet mirrored by a previous
+        :meth:`mirror_stats` tick are added, so calling this at close
+        after a lifetime of periodic mirrors reaches exactly the ledger
+        totals."""
+        self._mirror_into(obs.metrics, self.snapshot())
+
+    def mirror_stats(self) -> dict:
+        """One periodic stats mirror: fold ledger deltas into the obs
+        metrics registry and atomically refresh ``serve_stats.json``.
+
+        Called from the scheduler loop every ``stats_interval_s`` and
+        from every live-sampler tick; safe from either thread (one
+        internal lock serializes mirror state). Returns the snapshot it
+        published."""
+        snap = self.snapshot()
+        if self.obs is not None:
+            self._mirror_into(self.obs.metrics, snap)
+            write_json_atomic(
+                os.path.join(self.obs.directory, SERVE_STATS_NAME),
+                {"schema_version": SERVE_STATS_SCHEMA_VERSION,
+                 "updated_unix": time.time(), "stats": snap})
+        return snap
+
+    def _mirror_into(self, metrics, snap: dict) -> None:
+        with self._mirror_lock:
+            for key in ("accepted", "shed", "ok", "timeouts", "failed",
+                        "cancelled", "batches", "degraded_batches",
+                        "admission_rejected"):
+                value = snap.get(key, 0)
+                delta = value - self._mirrored.get(key, 0)
+                if delta > 0:
+                    metrics.counter(f"serve.{key}").inc(delta)
+                    self._mirrored[key] = value
+            metrics.gauge("serve.max_queue_depth").set(snap["max_queue_depth"])
+            metrics.gauge("serve.mean_batch_occupancy").set(
+                snap["mean_batch_occupancy"])
+            for attr, value in snap["pool"].items():
+                delta = value - self._mirrored.get(f"pool.{attr}", 0)
+                if delta > 0:
+                    metrics.counter(f"serve.pool.{attr}").inc(delta)
+                    self._mirrored[f"pool.{attr}"] = value
+            with self.stats._lock:
+                latencies = self.stats.latencies_s[self._mirrored_latencies:]
+                occupancy = self.stats.batch_occupancy[
+                    self._mirrored_occupancy:]
+                self._mirrored_latencies += len(latencies)
+                self._mirrored_occupancy += len(occupancy)
+            latency_hist = metrics.histogram("serve.latency_s")
+            for value in latencies:
+                latency_hist.observe(value)
+            occupancy_hist = metrics.histogram(
+                "serve.batch_occupancy",
+                buckets=(1, 2, 4, 8, 16, 32, float("inf")))
+            for value in occupancy:
+                occupancy_hist.observe(value)
 
     # -- scheduler thread ----------------------------------------------
     def _run(self) -> None:
@@ -314,6 +425,11 @@ class DetectionServer:
 
     def _loop(self) -> None:
         while True:
+            if (self.obs is not None
+                    and time.monotonic() - self._last_mirror_t
+                    >= self.config.stats_interval_s):
+                self._last_mirror_t = time.monotonic()
+                self.mirror_stats()
             batch: Optional[List[PendingRequest]] = None
             expired: List[PendingRequest] = []
             with self._cond:

@@ -85,3 +85,74 @@ class TestRegistry:
         metrics.gauge("m")
         assert metrics.names("counter") == ["a", "z"]
         assert metrics.names() == ["a", "m", "z"]
+
+
+class TestHistogramPercentiles:
+    """Edge cases of the bucket-interpolated percentile estimator."""
+
+    def test_empty_histogram_percentile_is_none(self):
+        hist = Histogram("x")
+        assert hist.percentile(50) is None
+        assert hist.percentile(0) is None
+        assert hist.percentile(100) is None
+
+    def test_percentile_out_of_range_raises(self):
+        hist = Histogram("x")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(100.1)
+
+    def test_single_sample_returns_that_sample_exactly(self):
+        hist = Histogram("x", buckets=(1.0, 10.0, float("inf")))
+        hist.observe(3.5)
+        for q in (0, 1, 50, 99, 100):
+            assert hist.percentile(q) == pytest.approx(3.5)
+
+    def test_top_bucket_clamps_to_observed_max_not_inf(self):
+        hist = Histogram("x", buckets=(1.0, float("inf")))
+        hist.observe(0.5)
+        hist.observe(500.0)
+        p100 = hist.percentile(100)
+        assert math.isfinite(p100)
+        assert p100 == pytest.approx(500.0)
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        hist = Histogram("x", buckets=(0.1, 0.5, 1.0, 5.0, float("inf")))
+        for value in (0.05, 0.2, 0.3, 0.7, 0.9, 2.0, 4.0, 8.0):
+            hist.observe(value)
+        estimates = [hist.percentile(q) for q in (0, 10, 25, 50, 75, 90, 99, 100)]
+        assert estimates == sorted(estimates)
+        assert all(0.05 <= e <= 8.0 for e in estimates)
+
+    def test_zero_percentile_is_observed_min(self):
+        hist = Histogram("x", buckets=(1.0, float("inf")))
+        hist.observe(0.25)
+        hist.observe(7.0)
+        assert hist.percentile(0) == pytest.approx(0.25)
+
+
+class TestRegistryConflicts:
+    def test_counter_then_histogram_conflict_raises(self):
+        metrics = Metrics()
+        metrics.counter("serve.latency")
+        with pytest.raises(ValueError, match="already registered"):
+            metrics.histogram("serve.latency")
+
+    def test_histogram_then_counter_conflict_raises(self):
+        metrics = Metrics()
+        metrics.histogram("x")
+        with pytest.raises(ValueError, match="already registered"):
+            metrics.counter("x")
+
+    def test_gauge_then_counter_conflict_raises(self):
+        metrics = Metrics()
+        metrics.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            metrics.counter("x")
+
+    def test_same_kind_reregistration_is_get_or_create(self):
+        metrics = Metrics()
+        metrics.counter("x").inc(2)
+        assert metrics.counter("x").value == 2.0

@@ -1,0 +1,200 @@
+"""Speedscope export + the TTY/HTML dashboard renderers.
+
+The speedscope checks are shape checks against the published file format
+(schema URL, frames table, well-nested evented samples) — enough that
+https://www.speedscope.app accepts the output.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    LiveConfig,
+    LiveTelemetry,
+    gather_dashboard,
+    render_html,
+    render_tty,
+    sparkline,
+    trace_to_speedscope,
+    validate_speedscope,
+)
+from repro.obs.trace import Tracer, load_trace
+
+pytestmark = pytest.mark.obslive
+
+
+def make_trace(tmp_path):
+    path = os.path.join(tmp_path, "trace.jsonl")
+    tracer = Tracer(sink_path=path)
+    with tracer.span("root"):
+        with tracer.span("child_a"):
+            with tracer.span("grandchild"):
+                pass
+        with tracer.span("child_b"):
+            pass
+    tracer.flush()
+    return load_trace(path)
+
+
+class TestSpeedscope:
+    def test_export_shape(self, tmp_path):
+        spans = make_trace(tmp_path)
+        doc = trace_to_speedscope(spans, name="unit")
+        assert doc["$schema"].endswith("file-format-schema.json")
+        assert doc["profiles"][0]["type"] == "evented"
+        names = {frame["name"] for frame in doc["shared"]["frames"]}
+        assert {"root", "child_a", "child_b", "grandchild"} <= names
+        events = doc["profiles"][0]["events"]
+        # Every open has a matching close: equal counts, stack-balanced.
+        assert len([e for e in events if e["type"] == "O"]) == \
+            len([e for e in events if e["type"] == "C"])
+
+    def test_export_validates(self, tmp_path):
+        doc = trace_to_speedscope(make_trace(tmp_path), name="unit")
+        assert validate_speedscope(doc) == []
+
+    def test_events_time_ordered_and_nested(self, tmp_path):
+        doc = trace_to_speedscope(make_trace(tmp_path), name="unit")
+        events = doc["profiles"][0]["events"]
+        times = [event["at"] for event in events]
+        assert times == sorted(times)
+        stack = []
+        for event in events:
+            if event["type"] == "O":
+                stack.append(event["frame"])
+            else:
+                assert stack.pop() == event["frame"]
+        assert stack == []
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_speedscope({}) != []
+        assert validate_speedscope({"$schema": "http://wrong"}) != []
+        # Mismatched open/close must be caught.
+        bad = {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {"frames": [{"name": "f"}]},
+            "profiles": [{
+                "type": "evented", "name": "p", "unit": "seconds",
+                "startValue": 0, "endValue": 1,
+                "events": [{"type": "O", "frame": 0, "at": 0}],
+            }],
+        }
+        assert any("unclosed" in p or "open" in p
+                   for p in validate_speedscope(bad))
+
+    def test_empty_trace_exports_empty_profile(self):
+        doc = trace_to_speedscope([], name="empty")
+        assert validate_speedscope(doc) == []
+        assert doc["profiles"][0]["events"] == []
+
+
+class TestDashboard:
+    def make_run_dir(self, tmp_path):
+        run_dir = str(tmp_path)
+        clock = {"t": 0.0}
+
+        def tick():
+            clock["t"] += 1.0
+            return clock["t"]
+
+        live = LiveTelemetry(
+            directory=run_dir,
+            config=LiveConfig(rules=("serve.depth < 3",)),
+            clock=tick)
+        depths = iter([1.0, 5.0, 5.0, 1.0, 2.0])
+        live.add_probe("serve", lambda: {"depth": next(depths),
+                                         "latency_p99_ms": 42.0})
+        for _ in range(5):
+            live.sample_once()
+        return run_dir
+
+    def test_gather_on_populated_run_dir(self, tmp_path):
+        run_dir = self.make_run_dir(tmp_path)
+        dash = gather_dashboard(run_dir)
+        assert dash["live"] is not None
+        assert "serve.depth" in dash["live"]["series"]
+        assert len(dash["alerts"]) == 2  # violation + recovery
+
+    def test_gather_on_empty_dir_is_all_optional(self, tmp_path):
+        empty = os.path.join(tmp_path, "empty")
+        os.makedirs(empty)
+        dash = gather_dashboard(empty)
+        assert dash["live"] is None and dash["manifest"] is None
+        # Renderers must not crash on a completely empty run.
+        assert isinstance(render_tty(dash), str)
+        assert render_html(dash).startswith("<!DOCTYPE html>")
+
+    def test_tty_render_contains_series_and_alerts(self, tmp_path):
+        dash = gather_dashboard(self.make_run_dir(tmp_path))
+        text = render_tty(dash)
+        assert "serve.depth" in text
+        assert "violation" in text
+        assert "serve.depth < 3" in text
+
+    def test_html_render_is_self_contained(self, tmp_path):
+        dash = gather_dashboard(self.make_run_dir(tmp_path))
+        html = render_html(dash, title="unit test")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "unit test" in html
+        assert "serve.depth" in html
+        assert "<script src=" not in html  # no external JS
+        assert 'href="http' not in html    # no external CSS
+        assert "prefers-color-scheme" in html
+
+    def test_history_section_from_committed_file(self, tmp_path):
+        repo_history = os.path.join(os.path.dirname(__file__), "..", "..",
+                                    "BENCH_history.jsonl")
+        dash = gather_dashboard(self.make_run_dir(tmp_path),
+                                history_path=repo_history)
+        assert dash["history"] is not None
+        assert "detection_serve" in dash["history"]["benchmarks"]
+        assert "detection_serve" in render_tty(dash)
+
+
+class TestSparkline:
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == ""
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert len(line) == 4
+        assert line[0] != line[-1]  # rising series uses different glyphs
+
+    def test_sparkline_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0], width=3)
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_sparkline_downsamples_wide_input(self):
+        line = sparkline(list(range(1000)), width=16)
+        assert len(line) == 16
+
+
+class TestDashboardScript:
+    def test_cli_renders_and_exports(self, tmp_path):
+        import subprocess
+        import sys
+        run_dir = TestDashboard().make_run_dir(tmp_path / "run")
+        repo = os.path.join(os.path.dirname(__file__), "..", "..")
+        script = os.path.join(repo, "scripts", "obs_dashboard.py")
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(repo, "src"))
+        out = subprocess.run([sys.executable, script, run_dir],
+                             capture_output=True, text=True, env=env)
+        assert out.returncode == 0, out.stderr
+        assert "serve.depth" in out.stdout
+
+        html_path = os.path.join(tmp_path, "report.html")
+        out = subprocess.run([sys.executable, script, run_dir,
+                              "--html", html_path],
+                             capture_output=True, text=True, env=env)
+        assert out.returncode == 0, out.stderr
+        assert os.path.exists(html_path)
+
+        flame_path = os.path.join(tmp_path, "flame.json")
+        out = subprocess.run([sys.executable, script, run_dir,
+                              "--flamegraph", flame_path],
+                             capture_output=True, text=True, env=env)
+        assert out.returncode == 0, out.stderr
+        doc = json.load(open(flame_path))
+        assert validate_speedscope(doc) == []

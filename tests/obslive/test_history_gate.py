@@ -1,0 +1,186 @@
+"""BENCH_history.jsonl trend analysis + the bench-script --check gates.
+
+The acceptance pair: a synthetic injected regression against a copied
+history must FAIL the gate; the repo's committed history must PASS it.
+"""
+
+import importlib.util
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.obs.history import (
+    check_trend,
+    detect_regression,
+    load_history,
+    metric_series,
+    trend_summary,
+)
+
+pytestmark = pytest.mark.obslive
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+COMMITTED_HISTORY = os.path.join(REPO_ROOT, "BENCH_history.jsonl")
+
+
+def load_script(name):
+    path = os.path.join(REPO_ROOT, "scripts", name)
+    spec = importlib.util.spec_from_file_location(name.replace(".py", ""), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_history(path, benchmark, metric, values):
+    with open(path, "w") as handle:
+        for value in values:
+            handle.write(json.dumps({"benchmark": benchmark,
+                                     metric: value}) + "\n")
+
+
+class TestLoader:
+    def test_torn_and_garbage_lines_are_counted_not_raised(self, tmp_path):
+        path = os.path.join(tmp_path, "h.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"benchmark": "b", "fps": 10.0}\n')
+            handle.write("not json at all\n")
+            handle.write('[1, 2, 3]\n')          # JSON but not an object
+            handle.write("\n")                    # blank: ignored silently
+            handle.write('{"benchmark": "b", "fps": 11.0}\n')
+            handle.write('{"benchmark": "b", "fps": 12.')  # torn tail
+        result = load_history(path)
+        assert len(result.records) == 2
+        assert result.bad_lines == 3
+        assert metric_series(result, "b", "fps") == [10.0, 11.0]
+
+    def test_benchmark_filter(self, tmp_path):
+        path = os.path.join(tmp_path, "h.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"benchmark": "a", "fps": 1.0}\n')
+            handle.write('{"benchmark": "b", "fps": 2.0}\n')
+        result = load_history(path, benchmark="b")
+        assert [r["fps"] for r in result.records] == [2.0]
+
+
+class TestDetector:
+    def test_insufficient_history_passes(self):
+        verdict = detect_regression([1.0, 2.0, 3.0], 0.0, min_points=4)
+        assert verdict.status == "insufficient"
+        assert verdict.ok
+
+    def test_clear_regression_fails(self):
+        trailing = [100.0, 101.0, 99.0, 100.5, 100.0, 99.5]
+        verdict = detect_regression(trailing, 50.0, direction="higher")
+        assert verdict.status == "regression"
+        assert not verdict.ok
+
+    def test_value_inside_band_passes(self):
+        trailing = [100.0, 101.0, 99.0, 100.5, 100.0, 99.5]
+        verdict = detect_regression(trailing, 98.0, direction="higher")
+        assert verdict.status == "ok"
+
+    def test_lower_is_better_direction(self):
+        trailing = [10.0, 11.0, 9.0, 10.5, 10.0]
+        assert detect_regression(trailing, 30.0,
+                                 direction="lower").status == "regression"
+        assert detect_regression(trailing, 10.2,
+                                 direction="lower").status == "ok"
+
+    def test_single_outlier_in_window_does_not_poison_baseline(self):
+        # One loaded-CI-box outlier: median/MAD shrug it off where a
+        # mean/sigma band would balloon.
+        trailing = [100.0, 100.5, 99.5, 1000.0, 100.0, 100.2]
+        verdict = detect_regression(trailing, 99.0, direction="higher")
+        assert verdict.status == "ok"
+
+    def test_identical_window_tolerates_rounding_wobble(self):
+        trailing = [100.0] * 6  # MAD = 0: the relative floor must kick in
+        assert detect_regression(trailing, 99.0,
+                                 direction="higher").status == "ok"
+        assert detect_regression(trailing, 50.0,
+                                 direction="higher").status == "regression"
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError):
+            detect_regression([1.0] * 5, 1.0, direction="sideways")
+
+
+class TestBenchGates:
+    """The three scripts' check_history_trend, driven as the CI gate does."""
+
+    def test_committed_history_passes_all_three_gates(self):
+        hot = load_script("bench_hotpath.py")
+        train = load_script("bench_train.py")
+        serve = load_script("bench_serve.py")
+        assert hot.check_history_trend(
+            COMMITTED_HISTORY, {"batched_fps": 1.0}) == 0
+        assert train.check_history_trend(
+            COMMITTED_HISTORY, {"parallel_steps_per_sec": 1.0}) == 0
+        assert serve.check_history_trend(
+            COMMITTED_HISTORY,
+            {"sustained_fps": 1.0, "latency_p99_ms": 1e9}) == 0
+
+    def test_injected_regression_fails_the_hotpath_gate(self, tmp_path):
+        """Copy the committed history, extend it to a judgeable window,
+        then present a collapsed fps: the gate must fail."""
+        path = os.path.join(tmp_path, "BENCH_history.jsonl")
+        shutil.copy(COMMITTED_HISTORY, path)
+        with open(path, "a") as handle:
+            for fps in (200.0, 201.0, 199.0, 200.5, 200.0, 199.5):
+                handle.write(json.dumps({
+                    "benchmark": "av_pipeline_hotpath",
+                    "batched_fps": fps}) + "\n")
+        hot = load_script("bench_hotpath.py")
+        assert hot.check_history_trend(path, {"batched_fps": 200.0}) == 0
+        assert hot.check_history_trend(path, {"batched_fps": 60.0}) == 1
+
+    def test_injected_latency_regression_fails_the_serve_gate(self, tmp_path):
+        path = os.path.join(tmp_path, "h.jsonl")
+        with open(path, "w") as handle:
+            for fps, p99 in ((50.0, 20.0), (51.0, 21.0), (49.0, 19.0),
+                             (50.5, 20.5), (50.0, 20.0)):
+                handle.write(json.dumps({
+                    "benchmark": "detection_serve",
+                    "sustained_fps": fps, "latency_p99_ms": p99}) + "\n")
+        serve = load_script("bench_serve.py")
+        healthy = {"sustained_fps": 50.0, "latency_p99_ms": 20.0}
+        assert serve.check_history_trend(path, healthy) == 0
+        slow_tail = {"sustained_fps": 50.0, "latency_p99_ms": 80.0}
+        assert serve.check_history_trend(path, slow_tail) == 1
+
+    def test_injected_regression_fails_the_train_gate(self, tmp_path):
+        path = os.path.join(tmp_path, "h.jsonl")
+        write_history(path, "parallel_train_engine", "parallel_steps_per_sec",
+                      [4.0, 4.1, 3.9, 4.0, 4.05])
+        train = load_script("bench_train.py")
+        assert train.check_history_trend(
+            path, {"parallel_steps_per_sec": 4.0}) == 0
+        assert train.check_history_trend(
+            path, {"parallel_steps_per_sec": 1.0}) == 1
+
+    def test_missing_history_file_passes(self, tmp_path):
+        hot = load_script("bench_hotpath.py")
+        missing = os.path.join(tmp_path, "nope.jsonl")
+        assert hot.check_history_trend(missing, {"batched_fps": 1.0}) == 0
+
+
+class TestTrendSummary:
+    def test_summary_over_committed_history(self):
+        summary = trend_summary(COMMITTED_HISTORY)
+        assert summary["bad_lines"] == 0
+        assert "detection_serve" in summary["benchmarks"]
+        serve = summary["benchmarks"]["detection_serve"]
+        assert "sustained_fps" in serve
+        assert serve["sustained_fps"]["points"] >= 1
+        assert serve["sustained_fps"]["median"] > 0
+
+    def test_check_trend_reports_bad_lines(self, tmp_path):
+        path = os.path.join(tmp_path, "h.jsonl")
+        write_history(path, "b", "fps", [10.0, 10.1, 9.9, 10.0])
+        with open(path, "a") as handle:
+            handle.write("torn garba")
+        verdict = check_trend(path, "b", "fps", 10.0)
+        assert verdict.ok
+        assert verdict.bad_lines == 1

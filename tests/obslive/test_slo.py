@@ -1,0 +1,127 @@
+"""SLO rule parsing and the edge-triggered alerting state machine."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    Alert,
+    Metrics,
+    SloEngine,
+    SloRule,
+    SloRuleError,
+    load_alerts,
+)
+
+pytestmark = pytest.mark.obslive
+
+
+class TestRuleParsing:
+    def test_parse_roundtrip(self):
+        rule = SloRule.parse("p99_latency_ms < 120")
+        assert rule.metric == "p99_latency_ms"
+        assert rule.op == "<" and rule.threshold == 120.0
+        assert str(rule) == "p99_latency_ms < 120"
+
+    def test_parse_dotted_metric_and_float_threshold(self):
+        rule = SloRule.parse("serve.shed_rate < 0.05")
+        assert rule.metric == "serve.shed_rate"
+        assert rule.threshold == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("text", [
+        "", "no operator", "x == 5", "x < banana", "< 5", "x <",
+        "1x < 5",
+    ])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(SloRuleError):
+            SloRule.parse(text)
+
+    def test_healthy_is_the_objective(self):
+        rule = SloRule.parse("shed_rate < 0.05")
+        assert rule.healthy(0.01)
+        assert not rule.healthy(0.05)  # strict <
+        assert SloRule.parse("fps > 10").healthy(11.0)
+
+
+class TestEdgeTriggering:
+    def test_fires_exactly_on_crossing(self):
+        engine = SloEngine([SloRule.parse("latency < 100")])
+        assert engine.evaluate(0.0, {"latency": 50.0}) == []
+        fired = engine.evaluate(1.0, {"latency": 150.0})
+        assert [a.kind for a in fired] == ["violation"]
+        assert fired[0].t == 1.0 and fired[0].value == 150.0
+        # Sustained breach: no further alerts.
+        assert engine.evaluate(2.0, {"latency": 200.0}) == []
+        assert engine.evaluate(3.0, {"latency": 180.0}) == []
+        # Recovery: exactly one.
+        recovered = engine.evaluate(4.0, {"latency": 50.0})
+        assert [a.kind for a in recovered] == ["recovery"]
+        assert engine.evaluate(5.0, {"latency": 50.0}) == []
+        assert len(engine.alerts) == 2
+
+    def test_for_ticks_debounce(self):
+        rule = SloRule.parse("latency < 100", for_ticks=3)
+        engine = SloEngine([rule])
+        assert engine.evaluate(0.0, {"latency": 150.0}) == []
+        assert engine.evaluate(1.0, {"latency": 150.0}) == []
+        fired = engine.evaluate(2.0, {"latency": 150.0})
+        assert [a.kind for a in fired] == ["violation"]
+
+    def test_healthy_sample_resets_debounce_streak(self):
+        rule = SloRule.parse("latency < 100", for_ticks=2)
+        engine = SloEngine([rule])
+        engine.evaluate(0.0, {"latency": 150.0})
+        engine.evaluate(1.0, {"latency": 50.0})   # streak reset
+        engine.evaluate(2.0, {"latency": 150.0})
+        assert engine.alerts == []                # never reached 2 in a row
+        fired = engine.evaluate(3.0, {"latency": 150.0})
+        assert [a.kind for a in fired] == ["violation"]
+
+    def test_missing_metric_changes_nothing(self):
+        engine = SloEngine([SloRule.parse("latency < 100")])
+        engine.evaluate(0.0, {"latency": 150.0})
+        assert engine.violated_rules() == ["latency < 100"]
+        # Ten ticks without the metric: still violated, no new alerts.
+        for i in range(10):
+            assert engine.evaluate(1.0 + i, {"other": 1.0}) == []
+        assert engine.violated_rules() == ["latency < 100"]
+        assert len(engine.alerts) == 1
+
+    def test_metrics_counters_on_transitions(self):
+        metrics = Metrics()
+        engine = SloEngine([SloRule.parse("x < 1")], metrics=metrics)
+        engine.evaluate(0.0, {"x": 5.0})
+        engine.evaluate(1.0, {"x": 0.0})
+        counters = metrics.snapshot()["counters"]
+        assert counters["slo.violations"] == 1.0
+        assert counters["slo.recoveries"] == 1.0
+        assert counters["slo.violations.x"] == 1.0
+
+
+class TestAlertSink:
+    def test_alerts_jsonl_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "alerts.jsonl")
+        engine = SloEngine([SloRule.parse("x < 1")], alerts_path=path)
+        engine.evaluate(0.5, {"x": 5.0})
+        engine.evaluate(1.5, {"x": 0.0})
+        loaded = load_alerts(path)
+        assert [a.kind for a in loaded] == ["violation", "recovery"]
+        assert loaded[0] == Alert(0.5, "violation", "x < 1", "x", 5.0, 1.0)
+
+    def test_load_alerts_tolerates_torn_tail(self, tmp_path):
+        path = os.path.join(tmp_path, "alerts.jsonl")
+        engine = SloEngine([SloRule.parse("x < 1")], alerts_path=path)
+        engine.evaluate(0.0, {"x": 5.0})
+        with open(path, "a") as handle:
+            handle.write('{"schema_version": 1, "t": 9.0, "kind": "vi')
+        loaded = load_alerts(path)
+        assert len(loaded) == 1
+        assert loaded[0].kind == "violation"
+
+    def test_alert_json_schema_fields(self):
+        alert = Alert(1.0, "violation", "x < 1", "x", 5.0, 1.0)
+        doc = alert.to_json()
+        assert doc["schema_version"] == 1
+        assert json.loads(json.dumps(doc)) == doc
+        assert Alert.from_json(doc) == alert

@@ -1,0 +1,113 @@
+"""Ring-buffer time series: lock-free writer/reader contract + rollups.
+
+Everything here is driven with literal (t, value) pairs — no threads, no
+clocks — so rollups and rates are exact and the tests are deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import Rollup, Timeseries
+
+pytestmark = pytest.mark.obslive
+
+
+class TestRing:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Timeseries("x", capacity=1)
+
+    def test_append_and_chronological_snapshot(self):
+        ts = Timeseries("x", capacity=8)
+        for i in range(5):
+            ts.append(float(i), float(10 * i))
+        times, values = ts.snapshot()
+        assert times.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert values.tolist() == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_wraparound_keeps_newest_in_order(self):
+        ts = Timeseries("x", capacity=4)
+        for i in range(10):
+            ts.append(float(i), float(i))
+        assert len(ts) == 4
+        assert ts.total_appended == 10
+        times, values = ts.snapshot()
+        assert times.tolist() == [6.0, 7.0, 8.0, 9.0]
+        assert values.tolist() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_last_after_wraparound(self):
+        ts = Timeseries("x", capacity=3)
+        for i in range(7):
+            ts.append(float(i), float(i * i))
+        assert ts.last() == (6.0, 36.0)
+
+    def test_empty_series_reads(self):
+        ts = Timeseries("x", capacity=4)
+        times, values = ts.snapshot()
+        assert len(times) == 0 and len(values) == 0
+        assert ts.last() is None
+        assert ts.rate(10.0, now=5.0) is None
+
+    def test_window_filters_by_time(self):
+        ts = Timeseries("x", capacity=16)
+        for i in range(10):
+            ts.append(float(i), float(i))
+        times, values = ts.window(since_t=6.0)
+        assert times.tolist() == [6.0, 7.0, 8.0, 9.0]
+
+
+class TestRates:
+    def test_counter_rate_over_window(self):
+        ts = Timeseries("accepted", capacity=16)
+        # 10 events/second cumulative counter.
+        for i in range(6):
+            ts.append(float(i), float(10 * i))
+        assert ts.rate(window_s=10.0, now=5.0) == pytest.approx(10.0)
+
+    def test_counter_reset_clamps_to_zero(self):
+        ts = Timeseries("accepted", capacity=16)
+        ts.append(0.0, 100.0)
+        ts.append(1.0, 5.0)  # producer restarted: counter went backwards
+        assert ts.rate(window_s=10.0, now=1.0) == 0.0
+
+    def test_single_sample_has_no_rate(self):
+        ts = Timeseries("x", capacity=4)
+        ts.append(0.0, 1.0)
+        assert ts.rate(window_s=10.0, now=0.0) is None
+
+
+class TestRollup:
+    def test_rollup_is_deterministic(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        a = Rollup.from_values(values)
+        b = Rollup.from_values(values)
+        assert a == b
+        assert a.count == 5
+        assert a.mean == pytest.approx(3.0)
+        assert a.min == 1.0 and a.max == 5.0
+        assert a.p50 == pytest.approx(3.0)
+        assert a.last == 4.0
+
+    def test_rollup_p99_matches_numpy(self):
+        values = list(range(100))
+        roll = Rollup.from_values(values)
+        assert roll.p99 == pytest.approx(float(np.percentile(values, 99)))
+
+    def test_rollup_filters_non_finite(self):
+        roll = Rollup.from_values([1.0, float("nan"), float("inf"), 3.0])
+        assert roll.count == 2
+        assert roll.mean == pytest.approx(2.0)
+
+    def test_empty_rollup_serializes_nulls(self):
+        doc = Rollup.from_values([]).to_json()
+        assert doc["count"] == 0
+        assert doc["mean"] is None and doc["p99"] is None
+
+    def test_series_rollup_windowed(self):
+        ts = Timeseries("x", capacity=32)
+        for i in range(20):
+            ts.append(float(i), float(i))
+        windowed = ts.rollup(window_s=5.0, now=19.0)
+        assert windowed.min == 14.0 and windowed.max == 19.0
+        full = ts.rollup()
+        assert full.count == 20
