@@ -1,19 +1,24 @@
 #!/usr/bin/env python
 """Benchmark the detection hot path and emit ``BENCH_hotpath.json``.
 
-Runs a seeded synthetic video through :class:`repro.av.AvPipeline` twice:
+Runs a seeded synthetic video through :class:`repro.av.AvPipeline` three
+times:
 
 * **per-frame** — the historical reference loop, one ``step()`` (one
   detector forward) per frame;
 * **batched** — ``run(batch_size=N)``, the vectorized hot path, with a
   :class:`repro.perf.PerfRecorder` attributing forward / decode / nms /
-  confirm time.
+  confirm time;
+* **lowered** — the same batched run through the eval-time lowered
+  detector (``TinyYolo.lower()``, DESIGN.md §13): BN folded, fused
+  epilogues, pre-planned buffers.
 
-The two traces are asserted behaviourally identical (same detections,
+All traces are asserted behaviourally identical (same detections,
 confirmations and planner actions frame by frame) before any number is
-reported, so the speedup can never come from changed semantics. The JSON
-report seeds the repo's perf trajectory; re-run with ``--check`` in CI to
-fail on a >20% frames/sec regression against the committed report.
+reported, so no speedup can come from changed semantics. The JSON report
+seeds the repo's perf trajectory; re-run with ``--check`` in CI to fail
+on a >20% frames/sec regression against the committed report, or on the
+lowered forward stage falling under its speedup floor.
 
 Usage::
 
@@ -51,6 +56,11 @@ DEFAULT_HISTORY = os.path.join(os.path.dirname(__file__), "..", "BENCH_history.j
 #: --check fails when batched frames/sec drops below this share of the
 #: committed number.
 REGRESSION_TOLERANCE = 0.20
+#: --check fails when the lowered forward stage is not at least this much
+#: faster than the non-lowered forward stage *of the same invocation*
+#: (same machine, same load — immune to cross-host drift in the
+#: committed report).
+LOWERED_FORWARD_FLOOR = 1.3
 
 
 def bench_config(args: argparse.Namespace) -> dict:
@@ -87,14 +97,14 @@ def bench_manifest(config: dict, run_id: str) -> dict:
     }
 
 
-def build_pipeline(args: argparse.Namespace) -> AvPipeline:
+def build_pipeline(args: argparse.Namespace, lowered: bool = False) -> AvPipeline:
     detector = TinyYolo(
         reduced_config(input_size=args.input_size,
                        width_multiplier=args.width),
         seed=args.seed,
     )
     return AvPipeline(detector, confirm_frames=3,
-                      conf_threshold=args.conf_threshold)
+                      conf_threshold=args.conf_threshold, lowered=lowered)
 
 
 def make_video(args: argparse.Namespace) -> list:
@@ -161,6 +171,28 @@ def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
             "reference — refusing to report a speedup for different "
             "semantics")
 
+    # Third phase: the same batched run through the lowered executor. The
+    # lowered pipeline shares the reference detector's weights (same seed,
+    # same construction) so trace identity is the lowering parity oracle.
+    lowered_pipeline = build_pipeline(args, lowered=True)
+    lowered_pipeline.run(frames[: min(4, len(frames))],
+                         batch_size=args.batch_size)  # warm the plan cache
+    lowered_perf = PerfRecorder()
+    start = time.perf_counter()
+    lowered_traces = lowered_pipeline.run(frames, batch_size=args.batch_size,
+                                          perf=lowered_perf)
+    lowered_seconds = time.perf_counter() - start
+    lowered_fps = len(frames) / lowered_seconds
+
+    lowered_identical = traces_equal(reference_traces, lowered_traces)
+    if not lowered_identical:
+        raise SystemExit(
+            "FATAL: lowered pipeline traces diverge from the per-frame "
+            "reference — the lowering parity oracle failed; refusing to "
+            "report a speedup for different semantics")
+    forward_speedup = (perf.stage_seconds("forward")
+                       / lowered_perf.stage_seconds("forward"))
+
     config = bench_config(args)
     run_id = obs.run_id if obs is not None else f"bench-{uuid.uuid4().hex[:12]}"
     payload = {
@@ -172,6 +204,16 @@ def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
         "speedup": round(batched_fps / per_frame_fps, 3),
         "trace_identical": identical,
         "perf": perf.report(),
+        "lowered": {
+            "fps": round(lowered_fps, 2),
+            "trace_identical": lowered_identical,
+            "forward_seconds": round(
+                lowered_perf.stage_seconds("forward"), 6),
+            "baseline_forward_seconds": round(
+                perf.stage_seconds("forward"), 6),
+            "forward_speedup": round(forward_speedup, 3),
+            "floor": LOWERED_FORWARD_FLOOR,
+        },
     }
 
     if args.layers:
@@ -196,6 +238,19 @@ def check_regression(report_path: str, payload: dict) -> int:
         print("FAIL: hot-path regression exceeds tolerance")
         return 1
     print("OK: within regression tolerance")
+    return 0
+
+
+def check_lowered_floor(payload: dict) -> int:
+    """Lowered-forward gate: measured against the *same invocation's*
+    non-lowered forward stage, so the floor holds on any machine."""
+    speedup = payload["lowered"]["forward_speedup"]
+    print(f"lowered forward speedup: {speedup:.2f}x  "
+          f"floor: {LOWERED_FORWARD_FLOOR:.2f}x")
+    if speedup < LOWERED_FORWARD_FLOOR:
+        print("FAIL: lowered forward stage under its speedup floor")
+        return 1
+    print("OK: lowered forward above floor")
     return 0
 
 
@@ -247,6 +302,10 @@ def main(argv=None) -> int:
           f"batched(x{args.batch_size}): {payload['batched_fps']:.2f} fps   "
           f"speedup: {payload['speedup']:.2f}x   "
           f"trace-identical: {payload['trace_identical']}")
+    lowered = payload["lowered"]
+    print(f"lowered:   {lowered['fps']:.2f} fps   "
+          f"forward speedup: {lowered['forward_speedup']:.2f}x   "
+          f"trace-identical: {lowered['trace_identical']}")
     for name, stage in payload["perf"]["stages"].items():
         print(f"  {name:>8}: {stage['seconds']*1e3:8.1f} ms  "
               f"({stage['share']:5.1%})  {stage['calls']} calls")
@@ -254,6 +313,7 @@ def main(argv=None) -> int:
     status = 0
     if args.check:
         status = check_regression(args.output, payload)
+        status = max(status, check_lowered_floor(payload))
         status = max(status, check_history_trend(args.history, payload))
     else:
         write_report(args.output, payload)
@@ -272,6 +332,8 @@ def main(argv=None) -> int:
             "per_frame_fps": payload["per_frame_fps"],
             "batched_fps": payload["batched_fps"],
             "speedup": payload["speedup"],
+            "lowered_fps": payload["lowered"]["fps"],
+            "lowered_forward_speedup": payload["lowered"]["forward_speedup"],
         })
     return status
 

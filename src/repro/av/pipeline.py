@@ -55,16 +55,25 @@ class AvPipeline:
         Consecutive frames required to confirm (paper: 3).
     conf_threshold:
         Detector confidence threshold.
+    lowered:
+        Compile the frozen detector through the eval-time lowering pass
+        (``TinyYolo.lower()``, DESIGN.md §13) and run inference through
+        the lowered executor. ``self.detector`` stays the source model
+        (layer profiling, checkpoint reloads); detection forwards use
+        ``self.infer_model``. Default off — trainers and attack loops
+        need the differentiable graph.
     """
 
     def __init__(self, detector: TinyYolo, confirm_frames: int = 3,
-                 conf_threshold: float = 0.3):
+                 conf_threshold: float = 0.3, lowered: bool = False):
         # The pipeline owns the detector as a frozen perception component:
         # inference must use batch-norm running statistics. In training
         # mode, per-batch statistics made detections depend on how frames
         # were batched and mutated the running buffers on every "inference"
         # frame — both inference-path bugs.
         self.detector = detector.eval()
+        self.lowered = lowered
+        self.infer_model = detector.lower() if lowered else self.detector
         self.conf_threshold = conf_threshold
         self.confirmer = DetectionConfirmer(confirm_frames=confirm_frames)
         self.planner = RulePlanner(detector.config.input_size)
@@ -81,7 +90,7 @@ class AvPipeline:
             return FrameTrace(detections=[], confirmed=confirmed,
                               decision=decision, sensor_fault=True)
         with no_grad():
-            outputs = self.detector(Tensor(frame[None]))
+            outputs = self.infer_model(Tensor(frame[None]))
         detections = detections_from_outputs(
             outputs, self.detector.config, conf_threshold=self.conf_threshold
         )[0]
@@ -127,7 +136,7 @@ class AvPipeline:
             if obs is not None:
                 obs.tracer.add("items", len(stream))
             per_frame = batched_detections(
-                self.detector, stream, conf_threshold=self.conf_threshold,
+                self.infer_model, stream, conf_threshold=self.conf_threshold,
                 batch_size=batch_size, perf=local_perf, obs=obs,
             )
             traces: List[FrameTrace] = []

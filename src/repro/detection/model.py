@@ -107,6 +107,19 @@ class TinyYolo(nn.Module):
         return coarse, fine
 
     # ------------------------------------------------------------------
+    def lower(self, debug: bool = False) -> "nn.LoweredDetector":
+        """Compile this frozen detector for inference (DESIGN.md §13).
+
+        Folds batch-norm into the conv weights, fuses the leaky-ReLU
+        epilogue, and pre-plans every buffer/einsum path per input shape.
+        Requires eval mode; the result shares this model's ``forward``
+        contract but is inference-only. Weights are folded *copies* —
+        re-lower after loading a new checkpoint.
+        """
+        from ..nn.lowering import lower_detector
+        return lower_detector(self, debug=debug)
+
+    # ------------------------------------------------------------------
     def checkpoint_metadata(self) -> dict:
         """Metadata stored alongside checkpoints for compatibility checks."""
         return {

@@ -104,8 +104,15 @@ def run_challenge(
     batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
     perf: Optional[PerfRecorder] = None,
     obs: Optional[Run] = None,
+    lowered: bool = False,
 ) -> ChallengeResult:
     """Evaluate one challenge, averaging PWC over ``n_runs`` seeded runs.
+
+    ``lowered`` compiles the frozen detector through the eval-time
+    lowering pass (DESIGN.md §13) and runs all detection forwards through
+    the lowered executor — same outcomes within the parity tolerance,
+    measurably faster. Default off so attack loops that re-enter training
+    mode keep the differentiable graph.
 
     ``faults`` degrades the rendered frame stream before the detector sees
     it; the schedule is re-seeded per run (derived from ``seed``) so
@@ -137,6 +144,7 @@ def run_challenge(
     # mid-training caller keeps its mode.
     was_training = model.training
     model.eval()
+    infer_model = model.lower() if lowered else model
 
     local_perf = perf
     if obs is not None and local_perf is None:
@@ -174,7 +182,7 @@ def run_challenge(
                         image = faults.apply(image, fault_events[index], fault_rng)
                     images.append(image)
                 detections_per_frame = batched_detections(
-                    model, images, conf_threshold=conf_threshold,
+                    infer_model, images, conf_threshold=conf_threshold,
                     batch_size=batch_size, perf=local_perf, obs=obs,
                 )
 
@@ -230,6 +238,7 @@ def evaluate_challenges(
     batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
     perf: Optional[PerfRecorder] = None,
     obs: Optional[Run] = None,
+    lowered: bool = False,
 ) -> Dict[str, ChallengeResult]:
     """Run a set of challenges; returns challenge → result."""
     return {
@@ -237,7 +246,7 @@ def evaluate_challenges(
             model, scenario, challenge, artifact=artifact,
             target_class=target_class, physical=physical,
             n_runs=n_runs, seed=seed, faults=faults,
-            batch_size=batch_size, perf=perf, obs=obs,
+            batch_size=batch_size, perf=perf, obs=obs, lowered=lowered,
         )
         for challenge in challenges
     }

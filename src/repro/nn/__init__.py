@@ -24,6 +24,13 @@ from .layers import (
     Tanh,
     Upsample,
 )
+from .lowering import (
+    LOWERING_ATOL,
+    LoweredDetector,
+    fold_conv_bn,
+    layer_parity,
+    lower_detector,
+)
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .serialization import load_module, save_module
 from .tensor import Tensor, concatenate, ensure_tensor, no_grad, stack
@@ -56,6 +63,11 @@ __all__ = [
     "clip_grad_norm",
     "save_module",
     "load_module",
+    "LOWERING_ATOL",
+    "LoweredDetector",
+    "fold_conv_bn",
+    "layer_parity",
+    "lower_detector",
     "he_normal",
     "xavier_uniform",
     "normal_",

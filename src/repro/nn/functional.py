@@ -15,6 +15,7 @@ benchmarks (see DESIGN.md §5).
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -36,6 +37,7 @@ __all__ = [
     "ConvWorkspace",
     "conv_workspace",
     "clear_conv_workspace",
+    "conv_workspace_totals",
     "unfold_windows",
     "im2col",
     "col2im",
@@ -111,15 +113,40 @@ class ConvWorkspace:
     path. Invalidate the calling thread's instance explicitly with
     :func:`clear_conv_workspace` (e.g. after a memory-pressure event or
     in tests that count allocations).
+
+    Memory is bounded on two axes: ``max_buffers`` caps the *count* and
+    ``max_bytes`` caps the *total size* — a handful of huge pads (one
+    full-scale 416² batch pad is tens of MiB) would otherwise stay pinned
+    behind the count cap forever. Eviction is LRU on both axes; a single
+    buffer larger than the whole byte budget is handed out but never
+    cached.
+
+    ``debug=True`` arms the in-flight pad guard: :meth:`pad` marks its
+    buffer checked out until :meth:`pad_release`, and a second pad that
+    would alias a still-checked-out buffer raises instead of silently
+    overwriting it (the documented consume-synchronously rule). The guard
+    is for tests and the lowered-graph executor's validation mode; with
+    ``debug=False`` both methods skip all tracking.
     """
 
-    def __init__(self, max_buffers: int = 64):
+    def __init__(self, max_buffers: int = 64,
+                 max_bytes: int = 256 * 1024 * 1024,
+                 debug: bool = False):
         self.max_buffers = max_buffers
+        self.max_bytes = max_bytes
+        self.debug = debug
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._bytes = 0
         self._buffers: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._paths: dict = {}
+        # Debug-mode in-flight pad tracking: key set + id(buffer) → key.
+        self._in_flight_keys: set = set()
+        self._in_flight_ids: dict = {}
+        with _REGISTRY_LOCK:
+            _WORKSPACE_REGISTRY.add(self)
 
     def buffer(self, key: tuple, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
         """A reusable zero-initialized-at-birth array for ``key``.
@@ -135,9 +162,17 @@ class ConvWorkspace:
             return buf
         self.misses += 1
         buf = np.zeros(shape, dtype=dtype)
+        if buf.nbytes > self.max_bytes:
+            # Oversized for the whole budget: hand it out, cache nothing.
+            return buf
         self._buffers[key] = buf
-        while len(self._buffers) > self.max_buffers:
-            self._buffers.popitem(last=False)
+        self._bytes += buf.nbytes
+        while len(self._buffers) > 1 and (
+                len(self._buffers) > self.max_buffers
+                or self._bytes > self.max_bytes):
+            _, evicted = self._buffers.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.evictions += 1
         return buf
 
     def pad(self, tag: str, x: np.ndarray, padding: int) -> np.ndarray:
@@ -156,9 +191,31 @@ class ConvWorkspace:
             out = np.zeros(shape, dtype=x.dtype)
             out[:, :, padding:-padding, padding:-padding] = x
             return out
-        buf = self.buffer(("pad", tag, shape, np.dtype(x.dtype).str), shape, x.dtype)
+        key = ("pad", tag, shape, np.dtype(x.dtype).str)
+        buf = self.buffer(key, shape, x.dtype)
+        if self.debug:
+            if key in self._in_flight_keys:
+                raise RuntimeError(
+                    f"ConvWorkspace aliasing violation: pad {key!r} requested "
+                    f"while a previous pad of the same tag/shape is still in "
+                    f"flight — release it with pad_release() before padding "
+                    f"again (consume-synchronously rule)")
+            self._in_flight_keys.add(key)
+            self._in_flight_ids[id(buf)] = key
         buf[:, :, padding:-padding, padding:-padding] = x
         return buf
+
+    def pad_release(self, buf: np.ndarray) -> None:
+        """Mark a :meth:`pad` buffer consumed (debug-mode guard only).
+
+        A no-op unless ``debug`` is set; safe to call with arrays that
+        never came from :meth:`pad` (e.g. the zero-padding passthrough).
+        """
+        if not self.debug:
+            return
+        key = self._in_flight_ids.pop(id(buf), None)
+        if key is not None:
+            self._in_flight_keys.discard(key)
 
     def einsum_path(self, subscripts: str, *ops: np.ndarray):
         key = (subscripts,) + tuple(op.shape for op in ops)
@@ -180,13 +237,19 @@ class ConvWorkspace:
         """Drop every cached buffer and contraction path (explicit invalidation)."""
         self._buffers.clear()
         self._paths.clear()
+        self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._in_flight_keys.clear()
+        self._in_flight_ids.clear()
 
     def stats(self) -> dict:
         return {
             "buffers": len(self._buffers),
-            "buffer_bytes": int(sum(b.nbytes for b in self._buffers.values())),
+            "buffer_bytes": int(self._bytes),
+            "max_bytes": int(self.max_bytes),
+            "evictions": self.evictions,
             "paths": len(self._paths),
             "hits": self.hits,
             "misses": self.misses,
@@ -194,6 +257,10 @@ class ConvWorkspace:
 
 
 _WORKSPACE_TLS = threading.local()
+#: Every live workspace across all threads (weakly held), so process-wide
+#: memory probes can aggregate buffer bytes without owning the instances.
+_REGISTRY_LOCK = threading.Lock()
+_WORKSPACE_REGISTRY: "weakref.WeakSet[ConvWorkspace]" = weakref.WeakSet()
 
 
 def conv_workspace() -> ConvWorkspace:
@@ -211,6 +278,31 @@ def conv_workspace() -> ConvWorkspace:
 def clear_conv_workspace() -> None:
     """Explicitly invalidate the calling thread's conv workspace cache."""
     conv_workspace().clear()
+
+
+def conv_workspace_totals() -> dict:
+    """Aggregate stats over every live workspace in this process.
+
+    Live-telemetry probe target (``LiveTelemetry.add_probe``): flat
+    scalars summing buffer count/bytes, path count and hit/miss/eviction
+    counters across all threads' workspaces (including any
+    lowered-detector plan caches). Counter reads race benignly with the
+    owning threads — probes want a cheap order-of-magnitude snapshot,
+    not a barrier.
+    """
+    with _REGISTRY_LOCK:
+        workspaces = list(_WORKSPACE_REGISTRY)
+    totals = {"workspaces": len(workspaces), "buffers": 0, "buffer_bytes": 0,
+              "paths": 0, "hits": 0, "misses": 0, "evictions": 0}
+    for ws in workspaces:
+        try:
+            stats = ws.stats()
+        except RuntimeError:  # dict mutated mid-iteration on another thread
+            continue
+        for key in ("buffers", "buffer_bytes", "paths", "hits", "misses",
+                    "evictions"):
+            totals[key] += stats[key]
+    return totals
 
 
 # ----------------------------------------------------------------------
@@ -316,9 +408,11 @@ def conv2d(
     # Pad through the reusable workspace buffer, then unfold padding-free:
     # numerically identical to unfold_windows(x, …, padding) but without a
     # fresh np.pad allocation per call.
-    windows, out_h, out_w = unfold_windows(
-        ws.pad("conv", x.data, padding), kernel, stride, 0)
+    padded = ws.pad("conv", x.data, padding)
+    windows, out_h, out_w = unfold_windows(padded, kernel, stride, 0)
     result = ws.einsum("ockl,nchwkl->nohw", weight.data, windows)
+    ws.pad_release(padded)
+    del padded
     if bias is not None:
         result += bias.data.reshape(1, -1, 1, 1)
     parents = (x, weight) + ((bias,) if bias is not None else ())
@@ -334,9 +428,10 @@ def conv2d(
         grad = np.asarray(grad, dtype=np.float32)
         grad4 = grad.reshape(n, out_c, out_h, out_w)
         if weight.requires_grad:
-            rewound = unfold_windows(
-                ws.pad("conv", x.data, padding), kernel, stride, 0)[0]
+            repadded = ws.pad("conv", x.data, padding)
+            rewound = unfold_windows(repadded, kernel, stride, 0)[0]
             grad_w = ws.einsum("nohw,nchwkl->ockl", grad4, rewound)
+            ws.pad_release(repadded)
             _route(weight, grad_w, staged)
         if x.requires_grad:
             cols_shape = (n, c, kernel, kernel, out_h, out_w)
@@ -372,6 +467,15 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None, padding
         # Darknet-style "same" pooling: pad one pixel on the bottom/right
         # with -inf so output size equals input size.
         pad_spec = ((0, 0), (0, 0), (0, 1), (0, 1))
+    elif stride == 1 and 2 * padding < kernel - 1:
+        # Every other under-padded stride-1 config would silently shrink
+        # the feature map — the darknet "same" trick is implemented for
+        # kernel 2 only, so reject instead of returning the wrong size.
+        raise ValueError(
+            f"max_pool2d: stride-1 pooling with kernel={kernel}, "
+            f"padding={padding} shrinks the feature map; only the darknet "
+            f"'same' special case (kernel=2, padding=0) or an explicit "
+            f"padding >= (kernel-1)/2 keeps the spatial size")
     elif padding:
         pad_spec = ((0, 0), (0, 0), (padding, padding), (padding, padding))
     if pad_spec is not None:
@@ -397,6 +501,10 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None, padding
     arg = flat.argmax(axis=-1)
     value = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
     out = _make(value, (x,))
+    if out.data.dtype != value.dtype:
+        # _make normalizes float arrays to float32; pooling is a pure
+        # selection, so a float64 input must come back float64.
+        out.data = value
 
     def backward(grad, staged):
         grad = np.asarray(grad, dtype=np.float32)

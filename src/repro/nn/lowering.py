@@ -1,0 +1,531 @@
+"""Eval-time graph lowering for the frozen YOLOv3-tiny detector.
+
+The inference hot path spends ~81% of its wall time in ``forward``
+(``BENCH_hotpath.json``). For a *frozen* detector — eval mode, running
+batch-norm statistics, no gradients — most of the per-layer work the
+training graph does is pure overhead: batch-norm is an affine map that
+can be folded into the conv weights, the leaky-ReLU is a two-op epilogue
+that never needs its own graph node, and every buffer/einsum path can be
+resolved once instead of per call.
+
+:func:`lower_detector` (exposed as ``TinyYolo.lower()``) runs a one-shot
+compile pass over an eval-mode detector:
+
+* **BN folding** — each ``ConvBlock``'s batch-norm is folded into the
+  conv weights/bias (:func:`fold_conv_bn`): ``w' = w·γ/√(σ²+ε)``,
+  ``b' = β − μ·γ/√(σ²+ε)``. One GEMM replaces GEMM + 4 normalization
+  passes. Folding reassociates float32 products, so lowered activations
+  match the reference within :data:`LOWERING_ATOL` per layer rather than
+  bit-exactly (the parity oracle checks both this and end-to-end
+  detection-trace identity).
+* **Fused epilogue** — bias add and leaky-ReLU run in place on the conv
+  output buffer (``max(y, slope·y)``), no intermediate tensors.
+* **Plan cache** — the lowered graph owns a private
+  :class:`~repro.nn.functional.ConvWorkspace` and compiles one
+  :class:`_Plan` per input batch shape: per-layer pad/output/scratch
+  buffers pre-sized once, einsum contraction paths pre-resolved, 1×1
+  convs routed through a direct GEMM. Re-running the same shape does
+  zero allocation. Pads go through ``ConvWorkspace.pad`` so the
+  debug-mode in-flight guard can prove the executor never aliases a
+  live pad buffer.
+
+The result is a :class:`LoweredDetector` with the same ``forward``
+contract as :class:`~repro.detection.model.TinyYolo` — ``(coarse, fine)``
+head tensors — accepted everywhere a detector flows today
+(``batched_detections``, ``AvPipeline``, the eval protocol, the serving
+backends). It is strictly inference-only: it refuses gradient-tracked
+inputs and cannot be put back into training mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .functional import ConvWorkspace
+from .tensor import Tensor, is_grad_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .layers import BatchNorm2d, Conv2d, ConvBlock
+
+__all__ = [
+    "LOWERING_ATOL",
+    "fold_conv_bn",
+    "FusedConvSpec",
+    "LoweredDetector",
+    "lower_detector",
+    "layer_parity",
+]
+
+#: Documented per-layer tolerance of the lowering parity oracle.
+#:
+#: BN folding computes ``(w·s)·x + b`` where eval-mode batch-norm computes
+#: ``s·(w·x) + b`` — the same real-valued function, associated differently
+#: in float32. With feature magnitudes O(1–10) and ≤ 9·C products per
+#: output, the reassociation error stays well below 1e-4 absolute at every
+#: layer (measured ~1e-6..1e-5 on the bench scenario); discrete outcomes
+#: (detection counts, classes, NMS order, planner actions) are required to
+#: match exactly on top of this.
+LOWERING_ATOL = 1e-4
+
+
+# ----------------------------------------------------------------------
+# Folding
+# ----------------------------------------------------------------------
+
+def fold_conv_bn(conv: "Conv2d", bn: "BatchNorm2d") -> Tuple[np.ndarray, np.ndarray]:
+    """Fold eval-mode batch-norm into conv weights and bias.
+
+    Eval-mode BN is the per-channel affine ``y = γ·(x−μ)/√(σ²+ε) + β``
+    over the conv output ``x = w∗input (+ b)``. Returns ``(weight, bias)``
+    with ``weight' = w·scale`` and ``bias' = (b−μ)·scale + β`` where
+    ``scale = γ/√(σ²+ε)`` — so ``weight'∗input + bias'`` equals the
+    original conv→BN composition on the running statistics.
+    """
+    scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+    weight = (conv.weight.data * scale[:, None, None, None]).astype(np.float32)
+    bias = conv.bias.data if conv.bias is not None else 0.0
+    bias = ((bias - bn.running_mean) * scale + bn.beta.data).astype(np.float32)
+    return weight, bias
+
+
+class FusedConvSpec:
+    """One lowered conv layer: folded weights + fused epilogue.
+
+    ``slope`` is the leaky-ReLU slope of the fused activation, or ``None``
+    for a linear head conv. Shape-independent — per-shape buffers live in
+    the :class:`_Plan` entries built from this spec.
+    """
+
+    __slots__ = ("name", "weight", "weight_2d", "bias_col", "kernel",
+                 "stride", "padding", "out_channels", "slope")
+
+    def __init__(self, name: str, weight: np.ndarray, bias: np.ndarray,
+                 stride: int, padding: int, slope: Optional[float]):
+        self.name = name
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.out_channels, _, self.kernel, _ = weight.shape
+        #: (O, C) matrix for the 1×1 direct-GEMM fast path.
+        self.weight_2d = self.weight.reshape(self.out_channels, -1)
+        #: Bias pre-shaped for in-place broadcast onto an (N, O, H, W) buffer.
+        self.bias_col = np.ascontiguousarray(
+            bias, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.stride = stride
+        self.padding = padding
+        self.slope = slope
+
+    @classmethod
+    def from_block(cls, name: str, block: "ConvBlock") -> "FusedConvSpec":
+        weight, bias = fold_conv_bn(block.conv, block.bn)
+        return cls(name, weight, bias, block.conv.stride,
+                   block.conv.padding, block.act.slope)
+
+    @classmethod
+    def from_conv(cls, name: str, conv: "Conv2d") -> "FusedConvSpec":
+        bias = (conv.bias.data if conv.bias is not None
+                else np.zeros(conv.weight.data.shape[0], dtype=np.float32))
+        return cls(name, conv.weight.data, bias, conv.stride,
+                   conv.padding, slope=None)
+
+
+# ----------------------------------------------------------------------
+# Per-shape executors (plan entries)
+# ----------------------------------------------------------------------
+
+def _pool_windows(data: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Read-only strided view of pooling windows (no materialization)."""
+    n, c, h, w = data.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    s = data.strides
+    return np.lib.stride_tricks.as_strided(
+        data, shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False)
+
+
+class _ConvExec:
+    """One fused conv at one input shape: pad → GEMM/einsum → epilogue.
+
+    All output/scratch buffers are pre-sized through the plan's workspace
+    at build time; ``run`` allocates nothing. The pad goes through
+    ``ConvWorkspace.pad`` per call (interior rewrite of the cached
+    buffer) so the debug in-flight guard covers the executor.
+    """
+
+    __slots__ = ("spec", "ws", "out", "tmp", "path", "in_shape", "one_by_one")
+
+    def __init__(self, spec: FusedConvSpec, in_shape: Tuple[int, ...],
+                 ws: ConvWorkspace):
+        self.spec = spec
+        self.ws = ws
+        n, c, h, w = in_shape
+        self.in_shape = in_shape
+        k, p, s = spec.kernel, spec.padding, spec.stride
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        out_shape = (n, spec.out_channels, out_h, out_w)
+        self.out = ws.buffer(("lowered.out", spec.name, out_shape), out_shape)
+        self.tmp = (ws.buffer(("lowered.tmp", spec.name, out_shape), out_shape)
+                    if spec.slope is not None else None)
+        self.one_by_one = (k == 1 and s == 1 and p == 0)
+        if self.one_by_one:
+            self.path = None
+        else:
+            # Resolve the contraction order once against a representative
+            # windows view (same shapes/strides the hot loop will use).
+            padded = ws.pad(spec.name, np.zeros(in_shape, np.float32), p)
+            windows = _pool_windows(padded, k, s)
+            self.path = ws.einsum_path("ockl,nchwkl->nohw",
+                                       spec.weight, windows)
+            ws.pad_release(padded)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        spec = self.spec
+        out = self.out
+        if self.one_by_one:
+            n, c, h, w = x.shape
+            # (O, C) @ (N, C, H·W) → (N, O, H·W): both sides are views of
+            # contiguous plan buffers, so this is one allocation-free GEMM.
+            np.matmul(spec.weight_2d, x.reshape(n, c, h * w),
+                      out=out.reshape(n, spec.out_channels, h * w))
+        else:
+            padded = self.ws.pad(spec.name, x, spec.padding)
+            windows = _pool_windows(padded, spec.kernel, spec.stride)
+            np.einsum("ockl,nchwkl->nohw", spec.weight, windows,
+                      out=out, optimize=self.path)
+            self.ws.pad_release(padded)
+        out += spec.bias_col
+        if spec.slope is not None:
+            # leaky(x) = max(x, slope·x) for slope < 1, fused in place.
+            np.multiply(out, spec.slope, out=self.tmp)
+            np.maximum(out, self.tmp, out=out)
+        return out
+
+
+class _PoolExec:
+    """Stride-2 (or darknet stride-1 'same') max pool, reduction-only.
+
+    Inference needs no argmax bookkeeping — k² shifted-slice ``maximum``
+    passes into a pre-sized buffer replace the windowed argmax +
+    take_along_axis pair of the differentiable path (a tuple-axis ``max``
+    over the strided 6-D window view is ~10× slower than slice maxima:
+    it loses the contiguous inner loop).
+    """
+
+    __slots__ = ("kernel", "stride", "out", "padbuf")
+
+    def __init__(self, name: str, in_shape: Tuple[int, ...], kernel: int,
+                 stride: int, ws: ConvWorkspace):
+        self.kernel = kernel
+        self.stride = stride
+        n, c, h, w = in_shape
+        self.padbuf = None
+        if stride == 1:
+            if kernel != 2:
+                raise ValueError("lowered same-pool supports kernel=2 only")
+            # Darknet 'same' pool: one -inf pixel on the bottom/right.
+            # Borders are written once here and never touched again.
+            self.padbuf = ws.buffer(("lowered.pool_pad", name,
+                                     (n, c, h + 1, w + 1)), (n, c, h + 1, w + 1))
+            self.padbuf[:, :, h, :] = -np.inf
+            self.padbuf[:, :, :, w] = -np.inf
+            out_shape = (n, c, h, w)
+        else:
+            out_shape = (n, c, (h - kernel) // stride + 1,
+                         (w - kernel) // stride + 1)
+        self.out = ws.buffer(("lowered.pool_out", name, out_shape), out_shape)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if self.padbuf is not None:
+            self.padbuf[:, :, :x.shape[2], :x.shape[3]] = x
+            x = self.padbuf
+        k, s, out = self.kernel, self.stride, self.out
+        oh, ow = out.shape[2], out.shape[3]
+        np.copyto(out, x[:, :, :s * oh:s, :s * ow:s])
+        for i in range(k):
+            for j in range(k):
+                if i or j:
+                    np.maximum(out, x[:, :, i:i + s * oh:s, j:j + s * ow:s],
+                               out=out)
+        return out
+
+
+class _UpsampleExec:
+    """2× nearest-neighbour upsample via broadcast assignment."""
+
+    __slots__ = ("out", "scale")
+
+    def __init__(self, name: str, in_shape: Tuple[int, ...], scale: int,
+                 ws: ConvWorkspace):
+        n, c, h, w = in_shape
+        self.scale = scale
+        self.out = ws.buffer(("lowered.up", name,
+                              (n, c, h * scale, w * scale)),
+                             (n, c, h * scale, w * scale))
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.scale
+        self.out.reshape(n, c, h, s, w, s)[...] = x[:, :, :, None, :, None]
+        return self.out
+
+
+class _ConcatExec:
+    """Channel concatenation into a pre-sized buffer."""
+
+    __slots__ = ("out", "split")
+
+    def __init__(self, name: str, shape_a: Tuple[int, ...],
+                 shape_b: Tuple[int, ...], ws: ConvWorkspace):
+        n, c1, h, w = shape_a
+        c2 = shape_b[1]
+        self.split = c1
+        self.out = ws.buffer(("lowered.cat", name, (n, c1 + c2, h, w)),
+                             (n, c1 + c2, h, w))
+
+    def run(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.out[:, :self.split] = a
+        self.out[:, self.split:] = b
+        return self.out
+
+
+class _Plan:
+    """Compiled execution plan of the TinyYolo graph for one input shape.
+
+    Mirrors :meth:`repro.detection.model.TinyYolo.forward` exactly —
+    backbone with five stride-2 pools and the stride-1 'same' pool, the
+    layer-13 route, the coarse head, and the upsample/concat fine head.
+    """
+
+    def __init__(self, specs: Dict[str, FusedConvSpec],
+                 in_shape: Tuple[int, ...], ws: ConvWorkspace):
+        def conv(name, shape):
+            exec_ = _ConvExec(specs[name], shape, ws)
+            return exec_, exec_.out.shape
+
+        shape = in_shape
+        self.convs: Dict[str, _ConvExec] = {}
+        self.pools: List[_PoolExec] = []
+        for index, name in enumerate(
+                ("conv1", "conv2", "conv3", "conv4", "conv5")):
+            self.convs[name], shape = conv(name, shape)
+            if name != "conv5":
+                pool = _PoolExec(f"pool{index + 1}", shape, 2, 2, ws)
+                self.pools.append(pool)
+                shape = pool.out.shape
+        route_fine_shape = shape
+        pool5 = _PoolExec("pool5", shape, 2, 2, ws)
+        self.pools.append(pool5)
+        self.convs["conv6"], shape = conv("conv6", pool5.out.shape)
+        self.same_pool = _PoolExec("pool6", shape, 2, 1, ws)
+        self.convs["conv7"], shape = conv("conv7", self.same_pool.out.shape)
+        self.convs["conv8"], route_13_shape = conv("conv8", shape)
+        self.convs["conv9"], shape = conv("conv9", route_13_shape)
+        self.convs["head_coarse"], _ = conv("head_coarse", shape)
+        self.convs["conv10"], shape = conv("conv10", route_13_shape)
+        self.upsample = _UpsampleExec("up", shape, 2, ws)
+        self.concat = _ConcatExec("route", self.upsample.out.shape,
+                                  route_fine_shape, ws)
+        self.convs["conv11"], shape = conv("conv11", self.concat.out.shape)
+        self.convs["head_fine"], _ = conv("head_fine", shape)
+
+    def run(self, x: np.ndarray,
+            capture: Optional[Dict[str, np.ndarray]] = None
+            ) -> Tuple[np.ndarray, np.ndarray]:
+        convs, pools = self.convs, self.pools
+
+        def emit(name, value):
+            if capture is not None:
+                capture[name] = value.copy()
+            return value
+
+        x = emit("conv1", convs["conv1"].run(x))
+        x = pools[0].run(x)
+        x = emit("conv2", convs["conv2"].run(x))
+        x = pools[1].run(x)
+        x = emit("conv3", convs["conv3"].run(x))
+        x = pools[2].run(x)
+        x = emit("conv4", convs["conv4"].run(x))
+        x = pools[3].run(x)
+        route_fine = emit("conv5", convs["conv5"].run(x))
+        x = pools[4].run(route_fine)
+        x = emit("conv6", convs["conv6"].run(x))
+        x = self.same_pool.run(x)
+        x = emit("conv7", convs["conv7"].run(x))
+        route_13 = emit("conv8", convs["conv8"].run(x))
+        coarse = emit("head_coarse",
+                      convs["head_coarse"].run(convs["conv9"].run(route_13)))
+        if capture is not None:
+            capture["conv9"] = convs["conv9"].out.copy()
+        up = self.upsample.run(emit("conv10", convs["conv10"].run(route_13)))
+        merged = self.concat.run(up, route_fine)
+        fine = emit("head_fine",
+                    convs["head_fine"].run(convs["conv11"].run(merged)))
+        if capture is not None:
+            capture["conv11"] = convs["conv11"].out.copy()
+        return coarse, fine
+
+
+# ----------------------------------------------------------------------
+# Public surface
+# ----------------------------------------------------------------------
+
+#: ConvBlock attribute names on TinyYolo, in forward order.
+_BLOCK_NAMES = ("conv1", "conv2", "conv3", "conv4", "conv5", "conv6",
+                "conv7", "conv8", "conv9", "conv10", "conv11")
+_HEAD_NAMES = ("head_coarse", "head_fine")
+
+
+class LoweredDetector:
+    """Inference-lowered view of a frozen :class:`TinyYolo`.
+
+    Same ``forward`` contract as the source model — call with an NCHW
+    tensor (or array), get ``(coarse, fine)`` raw head tensors — plus the
+    same ``config`` attribute, so it drops into ``batched_detections``,
+    :class:`~repro.av.pipeline.AvPipeline`, the eval protocol and the
+    serving backends unchanged. Weights are folded copies: later mutation
+    of the source model does **not** propagate (re-lower after loading a
+    new checkpoint).
+
+    ``debug=True`` arms the plan workspace's in-flight pad guard (the
+    aliasing oracle); leave it off on hot paths.
+    """
+
+    def __init__(self, model, debug: bool = False):
+        if model.training:
+            raise RuntimeError(
+                "lowering requires an eval-mode detector: BN folding bakes "
+                "in the running statistics, which training mode would "
+                "neither use nor keep fixed — call model.eval() first")
+        self.config = model.config
+        self.training = False
+        # Private plan cache: count-unbounded within byte budget (one plan
+        # per distinct batch shape; a detector sees few), sized so the
+        # full-profile plan fits.
+        self.workspace = ConvWorkspace(max_buffers=512, debug=debug)
+        self.specs: Dict[str, FusedConvSpec] = {}
+        for name in _BLOCK_NAMES:
+            self.specs[name] = FusedConvSpec.from_block(name, getattr(model, name))
+        for name in _HEAD_NAMES:
+            self.specs[name] = FusedConvSpec.from_conv(name, getattr(model, name))
+        self._plans: Dict[Tuple[int, ...], _Plan] = {}
+
+    # -- Module-surface compatibility ----------------------------------
+    def eval(self) -> "LoweredDetector":
+        return self
+
+    def train(self, mode: bool = True) -> "LoweredDetector":
+        if mode:
+            raise RuntimeError("a LoweredDetector is inference-only; "
+                               "train the source TinyYolo instead")
+        return self
+
+    def checkpoint_metadata(self) -> dict:
+        return {
+            "input_size": self.config.input_size,
+            "num_classes": self.config.num_classes,
+            "width_multiplier": self.config.width_multiplier,
+        }
+
+    # -- execution ------------------------------------------------------
+    def _plan_for(self, shape: Tuple[int, ...]) -> _Plan:
+        plan = self._plans.get(shape)
+        if plan is None:
+            plan = self._plans[shape] = _Plan(self.specs, shape, self.workspace)
+        return plan
+
+    def forward_arrays(self, data: np.ndarray,
+                       capture: Optional[Dict[str, np.ndarray]] = None
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw-array forward: ``(coarse, fine)`` numpy head outputs.
+
+        The returned arrays are *copies* of the plan buffers, safe to hold
+        across subsequent forwards.
+        """
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        if data.ndim != 4 or data.shape[1] != 3:
+            raise ValueError(f"expected NCHW 3-channel input, got {data.shape}")
+        if (data.shape[-1] != self.config.input_size
+                or data.shape[-2] != self.config.input_size):
+            raise ValueError(
+                f"input spatial size {data.shape[-2:]} != configured "
+                f"{self.config.input_size}")
+        coarse, fine = self._plan_for(data.shape).run(data, capture=capture)
+        return coarse.copy(), fine.copy()
+
+    def forward(self, x) -> Tuple[Tensor, Tensor]:
+        """Run the lowered detector; same contract as ``TinyYolo.forward``.
+
+        Raises if asked to participate in a gradient graph — the lowered
+        executor records no backward closures, so silently returning
+        detached tensors would break an attack loop that expects
+        gradients to flow.
+        """
+        if isinstance(x, Tensor):
+            if x.requires_grad and is_grad_enabled():
+                raise RuntimeError(
+                    "LoweredDetector is inference-only: input requires "
+                    "grad — use the unlowered TinyYolo for attack/training "
+                    "forwards (or wrap in no_grad())")
+            data = x.data
+        else:
+            data = np.asarray(x)
+        coarse, fine = self.forward_arrays(data)
+        return Tensor(coarse), Tensor(fine)
+
+    __call__ = forward
+
+
+def lower_detector(model, debug: bool = False) -> LoweredDetector:
+    """One-shot lowering pass (the function behind ``TinyYolo.lower()``)."""
+    return LoweredDetector(model, debug=debug)
+
+
+def layer_parity(model, lowered: LoweredDetector,
+                 x: np.ndarray) -> Dict[str, float]:
+    """Per-layer max |Δ| between the lowered executor and the reference.
+
+    Runs the eval-mode reference blocks and the lowered plan on the same
+    input and returns ``{layer_name: max_abs_delta}`` for every fused
+    conv (ConvBlocks and head convs). The parity oracle asserts every
+    value ≤ :data:`LOWERING_ATOL`.
+    """
+    from . import functional as F
+    from .tensor import concatenate, no_grad
+
+    if model.training:
+        raise RuntimeError("layer_parity needs the reference in eval mode")
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    captured: Dict[str, np.ndarray] = {}
+    lowered.forward_arrays(x, capture=captured)
+
+    reference: Dict[str, np.ndarray] = {}
+    with no_grad():
+        t = Tensor(x)
+        # Mirror of TinyYolo.forward, recording each fused layer's output.
+        t = model.conv1(t); reference["conv1"] = t.data
+        t = F.max_pool2d(t, 2, 2)
+        t = model.conv2(t); reference["conv2"] = t.data
+        t = F.max_pool2d(t, 2, 2)
+        t = model.conv3(t); reference["conv3"] = t.data
+        t = F.max_pool2d(t, 2, 2)
+        t = model.conv4(t); reference["conv4"] = t.data
+        t = F.max_pool2d(t, 2, 2)
+        route_fine = model.conv5(t); reference["conv5"] = route_fine.data
+        t = F.max_pool2d(route_fine, 2, 2)
+        t = model.conv6(t); reference["conv6"] = t.data
+        t = F.max_pool2d(t, 2, 1)
+        t = model.conv7(t); reference["conv7"] = t.data
+        route_13 = model.conv8(t); reference["conv8"] = route_13.data
+        t = model.conv9(route_13); reference["conv9"] = t.data
+        reference["head_coarse"] = model.head_coarse(t).data
+        t = model.conv10(route_13); reference["conv10"] = t.data
+        up = F.upsample_nearest(t, 2)
+        merged = concatenate([up, route_fine], axis=1)
+        t = model.conv11(merged); reference["conv11"] = t.data
+        reference["head_fine"] = model.head_fine(t).data
+
+    return {name: float(np.max(np.abs(captured[name] - reference[name])))
+            for name in reference}

@@ -46,8 +46,9 @@ class InprocBackend:
 
     def __init__(self, detector: TinyYolo, store: FrameStore,
                  conf_threshold: float, iou_threshold: float,
-                 max_detections: int):
+                 max_detections: int, lowered: bool = False):
         self._detector = detector.eval()
+        self._infer_model = detector.lower() if lowered else self._detector
         self._store = store
         self._conf = conf_threshold
         self._iou = iou_threshold
@@ -71,7 +72,7 @@ class InprocBackend:
                 slots = list(task["slots"])
                 frames = [self._store.read(slot) for slot in slots]
                 per_frame = batched_detections(
-                    self._detector, frames, conf_threshold=self._conf,
+                    self._infer_model, frames, conf_threshold=self._conf,
                     iou_threshold=self._iou,
                     max_detections=self._max_detections,
                     batch_size=max(1, len(frames)),
@@ -109,6 +110,7 @@ class PoolBackend:
             iou_threshold=iou_threshold,
             max_detections=max_detections,
             fail_init=config.debug_fail_worker_init,
+            lowered=config.lowered,
         )
         spec = WorkSpec(
             init_fn=serve_worker_init,

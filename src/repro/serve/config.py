@@ -74,6 +74,13 @@ class ServeConfig:
         Permit the serial in-process fallback when the worker pool
         cannot be built or becomes unusable. ``False`` turns those
         events into ``"failed"`` responses instead.
+    lowered:
+        Run inference through the eval-time lowered detector
+        (``TinyYolo.lower()``, DESIGN.md §13): BN folded into the conv
+        weights, fused epilogues, pre-planned buffers. Same detections
+        within the lowering parity tolerance, measurably faster. Applies
+        to both the worker pool (each worker lowers after loading the
+        broadcast weights) and the in-process fallback. Default off.
     debug_fail_worker_init:
         Test/chaos hook: makes every pool worker raise in its init
         function, simulating a pool that cannot be (re)built.
@@ -90,6 +97,7 @@ class ServeConfig:
     poll_interval_s: float = 0.002
     stats_interval_s: float = 1.0
     degraded_ok: bool = True
+    lowered: bool = False
     debug_fail_worker_init: bool = False
 
     def __post_init__(self) -> None:

@@ -41,6 +41,7 @@ from typing import Deque, Dict, List, Optional
 import numpy as np
 
 from ..detection.model import TinyYolo
+from ..nn.functional import conv_workspace_totals
 from ..obs import Run
 from ..obs.live import LiveConfig, LiveTelemetry
 from ..obs.run import write_json_atomic
@@ -183,6 +184,10 @@ class DetectionServer:
                 metrics=obs.metrics if obs is not None else None)
             self.live.add_probe("serve", self.probe)
             self.live.add_probe("proc", process_stats)
+            # Conv workspace occupancy (buffer_bytes, hits/misses,
+            # evictions) aggregated across every thread's workspace plus
+            # any lowered-plan caches — the memory side of the hot path.
+            self.live.add_probe("workspace", conv_workspace_totals)
             self.live.add_derived("serve.shed_rate", _shed_rate)
             self.live.add_derived("serve.respawns_per_min", _respawns_per_min)
             if obs is not None:
@@ -200,7 +205,8 @@ class DetectionServer:
     # -- construction ---------------------------------------------------
     def _inproc_backend(self) -> InprocBackend:
         return InprocBackend(self.detector, self._store, self._conf,
-                             self._iou, self._max_detections)
+                             self._iou, self._max_detections,
+                             lowered=self.config.lowered)
 
     def _build_backend(self):
         if self.config.workers == 0:

@@ -92,6 +92,9 @@ class ServeWorkerPayload:
     iou_threshold: float
     max_detections: int
     fail_init: bool = False
+    #: Compile the worker's detector through the eval-time lowering pass
+    #: after each weight load (DESIGN.md §13).
+    lowered: bool = False
 
 
 @dataclass
@@ -100,6 +103,10 @@ class _ServeContext:
     frames: SharedSlab
     payload: ServeWorkerPayload
     loaded_params: Optional[Dict[str, np.ndarray]] = None
+    #: Lowered executor compiled from the currently-loaded params; kept in
+    #: lockstep with ``loaded_params`` (folded weights are copies, so any
+    #: reload must re-lower).
+    lowered_model: Optional[object] = None
 
 
 def serve_worker_init(payload: ServeWorkerPayload) -> _ServeContext:
@@ -129,6 +136,10 @@ def serve_worker_infer(ctx: _ServeContext, params: Dict[str, np.ndarray],
     if ctx.loaded_params is not params:
         ctx.model.load_state_dict(params)
         ctx.loaded_params = params
+        # Lower *after* the load: folding copies the weights, so a lowered
+        # executor built from stale params would serve stale detections.
+        ctx.lowered_model = (ctx.model.lower() if ctx.payload.lowered
+                             else None)
     sleep_s = float(task.get("sleep_s", 0.0))
     if sleep_s > 0.0:  # chaos hook: simulate a hung forward
         import time
@@ -136,7 +147,8 @@ def serve_worker_infer(ctx: _ServeContext, params: Dict[str, np.ndarray],
     slots = list(task["slots"])
     frames = [ctx.frames.slot_copy(FRAME_ARRAY, slot) for slot in slots]
     per_frame = batched_detections(
-        ctx.model, frames,
+        ctx.lowered_model if ctx.lowered_model is not None else ctx.model,
+        frames,
         conf_threshold=ctx.payload.conf_threshold,
         iou_threshold=ctx.payload.iou_threshold,
         max_detections=ctx.payload.max_detections,

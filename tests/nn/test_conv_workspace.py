@@ -12,6 +12,7 @@ from repro.nn.functional import (
     clear_conv_workspace,
     conv2d,
     conv_workspace,
+    conv_workspace_totals,
 )
 
 
@@ -107,8 +108,9 @@ class TestReuseAndInvalidation:
         assert ws.stats()["paths"] > 0
         clear_conv_workspace()
         stats = ws.stats()
-        assert stats == {"buffers": 0, "buffer_bytes": 0, "paths": 0,
-                         "hits": 0, "misses": 0}
+        assert stats == {"buffers": 0, "buffer_bytes": 0,
+                         "max_bytes": ws.max_bytes, "evictions": 0,
+                         "paths": 0, "hits": 0, "misses": 0}
 
     def test_distinct_shapes_get_distinct_buffers(self):
         ws = conv_workspace()
@@ -124,6 +126,109 @@ class TestReuseAndInvalidation:
         ws.enabled = False
         _conv_pass(1)
         assert ws.stats()["buffers"] == 0
+
+
+class TestByteBudget:
+    """The LRU historically capped buffer *count* only: 64 cached pads of
+    a large model could pin gigabytes. The byte budget closes that."""
+
+    def test_bytes_accounting_tracks_cached_buffers(self):
+        ws = ConvWorkspace()
+        ws.buffer(("a", 1), (16,))
+        ws.buffer(("b", 1), (8,))
+        assert ws.stats()["buffer_bytes"] == (16 + 8) * 4
+
+    def test_eviction_by_bytes_before_count(self):
+        # Budget fits two 1 KiB buffers; the third insert must evict the
+        # oldest even though the count cap (64) is nowhere near reached.
+        ws = ConvWorkspace(max_bytes=2048)
+        ws.buffer(("a", 1), (256,))
+        ws.buffer(("b", 1), (256,))
+        ws.buffer(("c", 1), (256,))
+        stats = ws.stats()
+        assert stats["buffers"] == 2
+        assert stats["buffer_bytes"] <= 2048
+        assert stats["evictions"] == 1
+        # LRU order: "a" was oldest and must be the one gone.
+        ws.buffer(("c", 1), (256,))
+        assert ws.hits == 1
+        ws.buffer(("a", 1), (256,))
+        assert ws.misses == 4
+
+    def test_oversized_request_not_cached(self):
+        ws = ConvWorkspace(max_bytes=64)
+        buf = ws.buffer(("huge", 1), (1024,))
+        assert buf.shape == (1024,)
+        assert ws.stats()["buffers"] == 0
+
+    def test_clear_resets_byte_accounting(self):
+        ws = ConvWorkspace(max_bytes=2048)
+        for i in range(5):
+            ws.buffer(("k", i), (256,))
+        ws.clear()
+        stats = ws.stats()
+        assert stats["buffer_bytes"] == 0 and stats["evictions"] == 0
+
+
+class TestInFlightPadGuard:
+    """Documented aliasing rule: a pad buffer is consumed synchronously;
+    two same-tag same-shape pads return the *same* array, so an
+    overlapping second pad silently corrupts the first. Debug mode turns
+    that silent corruption into an immediate error."""
+
+    def test_overlapping_same_tag_pad_raises_in_debug(self):
+        ws = ConvWorkspace(debug=True)
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        first = ws.pad("conv", x, 1)
+        with pytest.raises(RuntimeError, match="aliasing"):
+            ws.pad("conv", x, 1)
+        ws.pad_release(first)
+        ws.pad("conv", x, 1)  # released → legal again
+
+    def test_distinct_tags_do_not_conflict(self):
+        ws = ConvWorkspace(debug=True)
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        a = ws.pad("conv", x, 1)
+        b = ws.pad("conv_bw", x, 1)
+        assert a is not b
+        ws.pad_release(a)
+        ws.pad_release(b)
+
+    def test_non_debug_mode_is_unguarded_and_free(self):
+        ws = ConvWorkspace()
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        first = ws.pad("conv", x, 1)
+        assert ws.pad("conv", x, 1) is first  # documented aliasing
+        ws.pad_release(first)  # no-op, never raises
+
+    def test_release_of_foreign_array_is_safe(self):
+        ws = ConvWorkspace(debug=True)
+        ws.pad_release(np.zeros(3, dtype=np.float32))
+
+    def test_conv2d_round_trip_clean_under_guard(self):
+        # The real conv forward+backward must never trip the guard: every
+        # pad is released before the next same-tag pad.
+        ws = conv_workspace()
+        ws.debug = True
+        try:
+            _conv_pass(0)
+            _conv_pass(1)
+        finally:
+            ws.debug = False
+
+
+class TestTotalsProbe:
+    def test_totals_aggregate_across_workspaces(self):
+        before = conv_workspace_totals()
+        ws1 = ConvWorkspace()
+        ws2 = ConvWorkspace()
+        ws1.buffer(("a", 1), (256,))
+        ws2.buffer(("b", 1), (128,))
+        after = conv_workspace_totals()
+        assert after["workspaces"] >= before["workspaces"] + 2
+        assert (after["buffer_bytes"] - before["buffer_bytes"]
+                == (256 + 128) * 4)
+        assert all(isinstance(v, (int, float)) for v in after.values())
 
 
 class TestThreadIsolation:

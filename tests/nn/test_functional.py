@@ -99,6 +99,32 @@ class TestPooling:
         x = tensor_of(rng, (1, 2, 6, 6))
         assert F.max_pool2d(x, 2, 1).shape == (1, 2, 6, 6)
 
+    def test_unsupported_stride1_shapes_raise(self):
+        # Anything stride-1 that is neither the darknet 'same' case nor
+        # genuinely 'same'-padded used to silently shrink the feature map.
+        x = Tensor(np.zeros((1, 1, 6, 6), dtype=np.float32))
+        with pytest.raises(ValueError, match="stride-1"):
+            F.max_pool2d(x, 3, 1)
+        with pytest.raises(ValueError, match="stride-1"):
+            F.max_pool2d(x, 5, 1, padding=1)
+        # Supported stride-1 shapes still work and keep (or grow) the map.
+        assert F.max_pool2d(x, 2, 1).shape == (1, 1, 6, 6)
+        assert F.max_pool2d(x, 3, 1, padding=1).shape == (1, 1, 6, 6)
+
+    def test_float64_input_preserves_dtype(self):
+        # Pooling is pure selection: a float64 input used to come back
+        # silently downcast to float32. (The Tensor constructor normalizes
+        # to float32, so a float64 tensor enters via direct .data
+        # assignment — e.g. mixed-precision probes.)
+        x = Tensor(np.zeros((1, 1, 4, 4), dtype=np.float32))
+        x.data = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(x, 2, 2)
+        assert out.data.dtype == np.float64
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+        # The float32 fast path is unchanged.
+        x32 = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        assert F.max_pool2d(x32, 2, 2).data.dtype == np.float32
+
     def test_max_pool_gradient_routes_to_max(self):
         x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4),
                    requires_grad=True)

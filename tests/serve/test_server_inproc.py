@@ -54,6 +54,31 @@ def test_parity_and_ordering_with_direct_inference(detector, make_frames):
             assert got.score == pytest.approx(ref.score, abs=1e-5)
 
 
+def test_lowered_backend_matches_reference_detections(detector, make_frames):
+    """`ServeConfig(lowered=True)` swaps the inproc backend onto the
+    eval-time lowered executor (DESIGN.md §13); detections must match
+    the unlowered server within the lowering trace band."""
+    frames = make_frames(6, seed=13)
+    server = DetectionServer(detector, inproc_config(lowered=True))
+    try:
+        session = server.open_session("client-lowered")
+        futures = [server.submit(session, frame) for frame in frames]
+        responses = [future.result(timeout=30) for future in futures]
+    finally:
+        server.close()
+
+    assert all(resp.status == RequestStatus.OK for resp in responses)
+    reference = batched_detections(detector, frames, conf_threshold=0.3,
+                                   iou_threshold=0.45, max_detections=50,
+                                   batch_size=4)
+    for resp, want in zip(responses, reference):
+        assert len(resp.detections) == len(want)
+        for got, ref in zip(resp.detections, want):
+            assert got.class_id == ref.class_id
+            np.testing.assert_allclose(got.box_xyxy, ref.box_xyxy, atol=1e-3)
+            assert got.score == pytest.approx(ref.score, abs=1e-3)
+
+
 def test_burst_past_capacity_sheds_instead_of_queueing(detector, make_frames):
     # Window far longer than the burst: the queue cannot drain mid-burst,
     # so requests past the slot capacity must be rejected immediately.
