@@ -73,6 +73,7 @@ def bench_config(args: argparse.Namespace) -> dict:
         "input_size": args.input_size,
         "width_multiplier": args.width,
         "chaos": bool(args.chaos),
+        "lowered": True,
         "seed": args.seed,
     }
 
@@ -113,6 +114,10 @@ def serve_config(args: argparse.Namespace, **overrides) -> ServeConfig:
         max_sessions=max(args.clients, 4),
         deadline_s=60.0,
         task_timeout_s=30.0,
+        # Serve on the lowered (BN-folded, fused, pre-planned) forward —
+        # parity-gated by pytest -m lowered (DESIGN.md §13); closes the
+        # ROADMAP item from PR 8.
+        lowered=True,
     )
     fields.update(overrides)
     return ServeConfig(**fields)

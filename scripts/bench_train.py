@@ -56,6 +56,7 @@ from repro.obs import (  # noqa: E402
     host_info,
 )
 from repro.obs.history import check_trend  # noqa: E402
+from repro.obs.live import LiveConfig, TrainTelemetry  # noqa: E402
 from repro.perf import PerfRecorder, load_report, write_report  # noqa: E402
 from repro.runtime import RuntimeConfig  # noqa: E402
 from repro.scene.video import AttackScenario  # noqa: E402
@@ -115,7 +116,7 @@ def attack_config(args: argparse.Namespace, workers: int) -> AttackConfig:
 
 def run_training(args: argparse.Namespace, workers: int,
                  runtime: RuntimeConfig | None = None,
-                 perf: PerfRecorder | None = None, obs=None):
+                 perf: PerfRecorder | None = None, obs=None, live=None):
     """One full training run; returns (AttackResult, wall_seconds).
 
     Model/scenario/config are rebuilt per call so every run is an
@@ -131,7 +132,7 @@ def run_training(args: argparse.Namespace, workers: int,
     config = attack_config(args, workers)
     start = time.perf_counter()
     result = train_patch_attack(model, scenario, config, runtime=runtime,
-                                obs=obs, perf=perf)
+                                obs=obs, perf=perf, live=live)
     return result, time.perf_counter() - start
 
 
@@ -180,8 +181,24 @@ def resume_parity(args: argparse.Namespace, reference: np.ndarray) -> bool:
 def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
     serial_result, serial_seconds = run_training(args, 0)
     perf = PerfRecorder()
-    parallel_result, parallel_seconds = run_training(
-        args, args.workers, perf=perf, obs=obs)
+
+    # Live train telemetry rides on the *parallel* timed run only — the
+    # serial oracle stays untelemetered, so the bit-identity gate below
+    # additionally proves the sampler never perturbs training numerics.
+    live = None
+    if obs is not None and args.live:
+        live = TrainTelemetry(
+            directory=obs.directory,
+            config=LiveConfig(interval_s=args.live_interval,
+                              rules=tuple(args.slo)),
+            metrics=obs.metrics)
+        live.start()
+    try:
+        parallel_result, parallel_seconds = run_training(
+            args, args.workers, perf=perf, obs=obs, live=live)
+    finally:
+        if live is not None:
+            live.stop()
 
     identical = bool(np.array_equal(serial_result.patch, parallel_result.patch))
     if not identical:
@@ -227,6 +244,12 @@ def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
         "bit_identical": identical,
         "resume_parity": resume_ok,
         "perf": perf.report(),
+        "live": None if live is None else {
+            "ticks": live.ticks,
+            "alerts": len(live.engine.alerts),
+            "violated_rules": live.engine.violated_rules(),
+            "rules": [str(rule) for rule in live.engine.rules],
+        },
     }
 
 
@@ -283,10 +306,29 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-resume-gate", action="store_true",
                         help="skip the crash/resume parity run (the two "
                              "timed runs and the bit-identity gate still run)")
+    parser.add_argument("--live", action="store_true",
+                        help="attach live train telemetry to the parallel "
+                             "run (requires --obs-dir): ring-buffer series, "
+                             "SLO alerts, train_live.json — watch with "
+                             "scripts/obs_dashboard.py --view train --follow")
+    parser.add_argument("--live-interval", type=float, default=0.25,
+                        help="live sampler tick period (seconds)")
+    parser.add_argument("--slo", action="append", default=None,
+                        help="SLO rule (repeatable; replaces the default "
+                             "set), e.g. 'train.steps_per_s > 0.5 for_ticks 3'")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed report instead "
                              "of overwriting it; exit 1 on >20%% regression")
     args = parser.parse_args(argv)
+    if args.slo is None:
+        # Stall detection is deliberately generous (0.05 steps/s) so slow
+        # shared runners don't alert on healthy-but-leisurely training.
+        args.slo = ["train.steps_per_s > 0.05 for_ticks 3",
+                    "train.grad_norm < 1e3",
+                    "train.checkpoint_age_s < 300"]
+    if args.live and not args.obs_dir:
+        parser.error("--live requires --obs-dir (telemetry files land in "
+                     "the run directory)")
 
     if args.obs_dir:
         with Run(args.obs_dir, name="bench_train",
@@ -303,6 +345,10 @@ def main(argv=None) -> int:
           f"on {gate['cpus']} CPUs)")
     print(f"bit-identical: {payload['bit_identical']}   "
           f"resume-parity: {payload['resume_parity']}")
+    if payload.get("live"):
+        summary = payload["live"]
+        print(f"live: {summary['ticks']} ticks, {summary['alerts']} alerts, "
+              f"violated={summary['violated_rules'] or 'none'}")
     for name, stage in payload["perf"]["stages"].items():
         print(f"  {name:>24}: {stage['seconds']*1e3:8.1f} ms  "
               f"({stage['share']:5.1%})  {stage['calls']} calls")

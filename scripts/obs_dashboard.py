@@ -15,6 +15,7 @@ Usage::
     PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --html out.html
     PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --flamegraph out.json
     PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --history BENCH_history.jsonl
+    PYTHONPATH=src python scripts/obs_dashboard.py RUNDIR --view train --follow
 """
 
 from __future__ import annotations
@@ -86,6 +87,12 @@ def main(argv=None) -> int:
                              "live_trace.jsonl)")
     parser.add_argument("--history", default="",
                         help="also summarize a BENCH_history.jsonl trend file")
+    parser.add_argument("--view", choices=("all", "serve", "train"),
+                        default="all",
+                        help="restrict the dashboard to one producer: "
+                             "'serve' (live.json + serve_stats.json) or "
+                             "'train' (train_live.json); default renders "
+                             "whatever the directory holds")
     parser.add_argument("--alerts-tail", type=int, default=20)
     args = parser.parse_args(argv)
 
@@ -94,8 +101,16 @@ def main(argv=None) -> int:
         return 1
 
     def gather():
-        return gather_dashboard(args.run_dir, alerts_tail=args.alerts_tail,
+        dash = gather_dashboard(args.run_dir, alerts_tail=args.alerts_tail,
                                 history_path=args.history or None)
+        # A view only hides the other producer's sections — gathering stays
+        # whole-directory so alerts/traces (shared files) always show.
+        if args.view == "serve":
+            dash["train_live"] = None
+        elif args.view == "train":
+            dash["live"] = None
+            dash["serve_stats"] = None
+        return dash
 
     # --flamegraph and --html compose; either (or both) suppresses the TTY view.
     status = 0

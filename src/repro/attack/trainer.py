@@ -300,6 +300,7 @@ def train_patch_attack(
     runtime: Optional[RuntimeConfig] = None,
     obs: Optional[Run] = None,
     perf=None,
+    live=None,
 ) -> AttackResult:
     """Train the paper's decal attack against a frozen detector.
 
@@ -327,6 +328,15 @@ def train_patch_attack(
     worker processes — every ``workers >= 0`` value produces byte-equal
     parameter updates. ``perf`` (a :class:`repro.perf.PerfRecorder`)
     attributes engine stage time (broadcast/dispatch/collect/reduce).
+
+    ``live`` (a :class:`repro.obs.TrainTelemetry`, DESIGN.md §14) attaches
+    the step loop to the live sampler: steps/s, loss and grad-norm gauges,
+    checkpoint age, divergence-guard state, and worker-pool health become
+    pollable mid-run and land in ``train_live.json`` every tick. The
+    trainer only *registers* probes and updates its ledger — the caller
+    owns ``live.start()``/``stop()``. ``live=None`` is free, and the
+    ledger writes are plain float stores: a telemetered run is bit-identical
+    to an untelemetered one.
     """
     config = config or AttackConfig()
     log = log or TrainLog("attack")
@@ -356,7 +366,7 @@ def train_patch_attack(
                         n_patches=config.n_patches, workers=config.workers):
             return _train_with_frozen_detector(
                 model, scenario, config, log, rng, target_label, runtime, obs,
-                perf,
+                perf, live,
             )
     finally:
         for param, state in zip(detector_params, frozen_state):
@@ -373,11 +383,17 @@ def _train_with_frozen_detector(
     runtime: Optional[RuntimeConfig] = None,
     obs: Optional[Run] = None,
     perf=None,
+    live=None,
 ) -> AttackResult:
     runtime = runtime or RuntimeConfig()
     manager = runtime.manager()
     guard = DivergenceGuard(runtime.guard,
                             metrics=obs.metrics if obs is not None else None)
+    ledger = None
+    if live is not None:
+        ledger = live.attach("attack", config.steps)
+        live.ensure_probe("train.attack.guard", guard.probe)
+        live.register_host_probes()
     generator = PatchGenerator(config.k, latent_dim=config.latent_dim,
                                seed=derive_seed(config.seed, "gen"))
     discriminator = PatchDiscriminator(config.k, seed=derive_seed(config.seed, "disc"))
@@ -402,6 +418,7 @@ def _train_with_frozen_detector(
                 ),
                 obs=obs,
                 perf=perf,
+                live=live,
             )
 
     # Pre-render the training-frame pool (the paper's scene photographs).
@@ -460,6 +477,8 @@ def _train_with_frozen_detector(
                      grad_specs=grad_specs, max_samples=config.batch_frames),
             config.workers, obs=obs, perf=perf, name="attack.parallel",
         )
+        if live is not None:
+            live.ensure_probe("train.attack.pool", evaluator.probe)
     # Extra EOT-stream epoch (engine schedule): bumped on divergence
     # recovery so retries draw fresh per-sample streams; checkpointed for
     # bit-exact resume.
@@ -506,6 +525,8 @@ def _train_with_frozen_detector(
                 checkpoint = snapshot(step)
                 last_good[:] = [checkpoint]
                 manager.save(checkpoint)
+                if ledger is not None:
+                    ledger.checkpoint_saved()
 
             # -- discriminator --------------------------------------------
             real = sample_batch(config.shape, config.k, config.gan_batch, rng)
@@ -579,6 +600,11 @@ def _train_with_frozen_detector(
             if obs is not None:
                 obs.metrics.counter("attack.steps_run").inc()
                 obs.metrics.counter("attack.frames_composited").inc(n_frames)
+            if ledger is not None:
+                ledger.step(step, loss=g_loss_value, grad_norm=g_grad_norm,
+                            d_loss=float(d_loss.data), d_grad_norm=d_grad_norm,
+                            attack=attack_value, lr=g_optimizer.lr)
+                ledger.set_epoch(eot_epoch[0])
 
             if step % 10 == 0 or step == config.steps - 1:
                 log.log(step, d_loss=float(d_loss.data), adv=float(adv.data),
@@ -605,6 +631,10 @@ def _train_with_frozen_detector(
         recovered = snapshot(checkpoint.step)
         last_good[:] = [recovered]
         manager.save(recovered)
+        if ledger is not None:
+            ledger.recovery()
+            ledger.checkpoint_saved()
+            ledger.set_epoch(eot_epoch[0])
         log.event(err.step, "divergence_recovery", reason=err.reason,
                   attempt=attempt_index, lr=g_optimizer.lr,
                   rollback_step=checkpoint.step)
@@ -625,6 +655,8 @@ def _train_with_frozen_detector(
     if not runtime.keep_checkpoint:
         manager.delete()
 
+    if ledger is not None:
+        ledger.finish()
     generator.eval()
     discriminator.eval()
     final_patch = generator(Tensor(z_deploy)).data[0]

@@ -83,6 +83,7 @@ def train_detector(
     log: Optional[TrainLog] = None,
     runtime: Optional[RuntimeConfig] = None,
     obs: Optional[Run] = None,
+    live=None,
 ) -> TrainLog:
     """Train ``model`` in place on ``samples`` (CHW float images + truths).
 
@@ -92,6 +93,11 @@ def train_detector(
     ``obs`` attaches the loop to a run (DESIGN.md §9): a ``detector.train``
     span, loss gauges from the log, and guard/recovery counters all land
     in the run's trace and metrics registry. ``obs=None`` is free.
+
+    ``live`` (a :class:`repro.obs.TrainTelemetry`, DESIGN.md §14) attaches
+    the loop to the live sampler under the ``detector`` trainer name
+    (per-batch steps, epoch progress, loss/grad-norm gauges, checkpoint
+    age, guard state). ``live=None`` is free.
     """
     config = config or DetectorTrainConfig()
     log = log or TrainLog("detector")
@@ -103,6 +109,12 @@ def train_detector(
     manager = runtime.manager()
     guard = DivergenceGuard(runtime.guard,
                             metrics=obs.metrics if obs is not None else None)
+    ledger = None
+    if live is not None:
+        batches_per_epoch = -(-len(samples) // config.batch_size)
+        ledger = live.attach("detector", config.epochs * batches_per_epoch)
+        live.ensure_probe("train.detector.guard", guard.probe)
+        live.register_host_probes()
     rng = np.random.default_rng(config.seed)
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     budget = Budget(config.time_budget_seconds)
@@ -149,6 +161,10 @@ def train_detector(
                 checkpoint = snapshot(epoch, step)
                 last_good[:] = [checkpoint]
                 manager.save(checkpoint)
+                if ledger is not None:
+                    ledger.checkpoint_saved()
+            if ledger is not None:
+                ledger.set_epoch(epoch)
             for images, truths in _batches(samples, config.batch_size, rng,
                                            config.shuffle, config.augment):
                 outputs = model(Tensor(images))
@@ -162,6 +178,9 @@ def train_detector(
                 if obs is not None:
                     obs.metrics.counter("detector.steps_run").inc()
                     obs.metrics.counter("detector.samples_seen").inc(len(truths))
+                if ledger is not None:
+                    ledger.step(step, loss=float(result.total.data),
+                                grad_norm=grad_norm, lr=optimizer.lr)
                 if step % config.log_every == 0:
                     log.log(
                         step,
@@ -193,6 +212,9 @@ def train_detector(
                              int(checkpoint.scalars["global_step"]))
         last_good[:] = [recovered]
         manager.save(recovered)
+        if ledger is not None:
+            ledger.recovery()
+            ledger.checkpoint_saved()
         log.event(err.step, "divergence_recovery", reason=err.reason,
                   attempt=attempt_index, lr=optimizer.lr,
                   rollback_epoch=checkpoint.step)
@@ -209,5 +231,7 @@ def train_detector(
         run_with_recovery(attempt, runtime.retry_policy(), on_divergence)
     if not runtime.keep_checkpoint:
         manager.delete()
+    if ledger is not None:
+        ledger.finish()
     model.eval()
     return log

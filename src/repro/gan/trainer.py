@@ -86,6 +86,7 @@ def train_gan(
     runtime: Optional[RuntimeConfig] = None,
     obs: Optional[Run] = None,
     perf=None,
+    live=None,
 ) -> TrainLog:
     """Adversarially train G/D on one shape class in place.
 
@@ -98,6 +99,11 @@ def train_gan(
     schedule — serial oracle at ``0``, ``n`` worker processes otherwise,
     all byte-identical to each other. ``perf`` (a
     :class:`repro.perf.PerfRecorder`) attributes engine stage time.
+
+    ``live`` (a :class:`repro.obs.TrainTelemetry`, DESIGN.md §14) attaches
+    the loop to the live sampler under the ``gan`` trainer name — as the
+    attack warm-up it rides along as a secondary trainer; standalone it is
+    the primary and drives ``train.*``. ``live=None`` is free.
     """
     config = config or GanTrainConfig()
     log = log or TrainLog("gan")
@@ -107,6 +113,11 @@ def train_gan(
     manager = runtime.manager()
     guard = DivergenceGuard(runtime.guard,
                             metrics=obs.metrics if obs is not None else None)
+    ledger = None
+    if live is not None:
+        ledger = live.attach("gan", config.steps)
+        live.ensure_probe("train.gan.guard", guard.probe)
+        live.register_host_probes()
     rng = np.random.default_rng(config.seed)
     g_optimizer = Adam(generator.parameters(), lr=config.learning_rate)
     d_optimizer = Adam(discriminator.parameters(), lr=config.learning_rate)
@@ -138,6 +149,8 @@ def train_gan(
                      grad_specs=grad_specs, max_samples=config.batch_size),
             config.workers, obs=obs, perf=perf, name="gan.parallel",
         )
+        if live is not None:
+            live.ensure_probe("train.gan.pool", evaluator.probe)
     # Extra EOT-stream epoch: bumped on divergence recovery so the retry
     # draws fresh per-sample streams (the engine-mode analogue of the
     # legacy batch-rng reseed). Checkpointed for bit-exact resume.
@@ -213,6 +226,8 @@ def train_gan(
                 checkpoint = snapshot(step)
                 last_good[:] = [checkpoint]
                 manager.save(checkpoint)
+                if ledger is not None:
+                    ledger.checkpoint_saved()
 
             if evaluator is not None:
                 # Engine schedule: D round, then G round against the
@@ -253,6 +268,11 @@ def train_gan(
                 g_optimizer.step()
             if obs is not None:
                 obs.metrics.counter("gan.steps_run").inc()
+            if ledger is not None:
+                ledger.step(step, loss=g_loss_value, grad_norm=g_grad_norm,
+                            d_loss=d_loss_value, d_grad_norm=d_grad_norm,
+                            lr=g_optimizer.lr)
+                ledger.set_epoch(eot_epoch[0])
 
             if step % config.log_every == 0 or step == config.steps - 1:
                 log.log(step, d_loss=d_loss_value, g_loss=g_loss_value,
@@ -274,6 +294,10 @@ def train_gan(
         recovered = snapshot(checkpoint.step)
         last_good[:] = [recovered]
         manager.save(recovered)
+        if ledger is not None:
+            ledger.recovery()
+            ledger.checkpoint_saved()
+            ledger.set_epoch(eot_epoch[0])
         log.event(err.step, "divergence_recovery", reason=err.reason,
                   attempt=attempt_index, lr=g_optimizer.lr,
                   rollback_step=checkpoint.step)
@@ -295,6 +319,8 @@ def train_gan(
         manager.delete()
     if config.workers is not None:
         _recalibrate_batch_norm(generator, config.batch_size, config.seed)
+    if ledger is not None:
+        ledger.finish()
     generator.eval()
     discriminator.eval()
     return log

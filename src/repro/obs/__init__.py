@@ -41,11 +41,15 @@ from .history import (
 )
 from .live import (
     LIVE_SNAPSHOT_NAME,
+    TRAIN_SNAPSHOT_NAME,
     LiveConfig,
     LiveTelemetry,
     Rollup,
     Timeseries,
+    TrainerState,
+    TrainTelemetry,
     load_live_snapshot,
+    load_train_snapshot,
 )
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, Metrics
 from .report import (
@@ -103,8 +107,12 @@ __all__ = [
     "Rollup",
     "LiveConfig",
     "LiveTelemetry",
+    "TrainerState",
+    "TrainTelemetry",
     "LIVE_SNAPSHOT_NAME",
+    "TRAIN_SNAPSHOT_NAME",
     "load_live_snapshot",
+    "load_train_snapshot",
     "SloRule",
     "SloRuleError",
     "SloEngine",

@@ -51,9 +51,12 @@ from .run import write_json_atomic
 from .slo import SloEngine, SloRule
 
 __all__ = ["Timeseries", "Rollup", "LiveConfig", "LiveTelemetry",
-           "LIVE_SNAPSHOT_NAME", "LIVE_SCHEMA_VERSION", "load_live_snapshot"]
+           "TrainerState", "TrainTelemetry",
+           "LIVE_SNAPSHOT_NAME", "TRAIN_SNAPSHOT_NAME", "LIVE_SCHEMA_VERSION",
+           "load_live_snapshot", "load_train_snapshot"]
 
 LIVE_SNAPSHOT_NAME = "live.json"
+TRAIN_SNAPSHOT_NAME = "train_live.json"
 LIVE_SCHEMA_VERSION = 1
 
 
@@ -234,6 +237,12 @@ class LiveTelemetry:
         must never share a (single-threaded) tracer with the host.
     """
 
+    #: File the per-tick atomic snapshot lands in; subclasses override
+    #: (the training pipeline writes ``train_live.json`` so one run
+    #: directory can hold a serve snapshot and a train snapshot side by
+    #: side).
+    snapshot_name = LIVE_SNAPSHOT_NAME
+
     def __init__(self, directory: Optional[str] = None,
                  config: Optional[LiveConfig] = None,
                  clock: Callable[[], float] = time.monotonic,
@@ -391,7 +400,7 @@ class LiveTelemetry:
 
     def _write_snapshot(self, now: float) -> None:
         if self.directory is not None:
-            write_json_atomic(os.path.join(self.directory, LIVE_SNAPSHOT_NAME),
+            write_json_atomic(os.path.join(self.directory, self.snapshot_name),
                               self.snapshot(now))
         for fn in self._snapshot_writers:
             try:
@@ -441,3 +450,207 @@ def load_live_snapshot(path: str) -> dict:
     """Read a ``live.json`` snapshot (atomic writes make this torn-free)."""
     with open(path) as handle:
         return json.load(handle)
+
+
+def load_train_snapshot(path: str) -> dict:
+    """Read a ``train_live.json`` snapshot (same atomic-write contract)."""
+    return load_live_snapshot(path)
+
+
+# ----------------------------------------------------------------------
+# Training-side telemetry
+# ----------------------------------------------------------------------
+
+class TrainerState:
+    """Mutable per-trainer ledger: the step loop writes, the sampler polls.
+
+    The training loop calls :meth:`step` / :meth:`checkpoint_saved` /
+    :meth:`recovery` — plain attribute writes on already-computed floats,
+    so attaching telemetry can never perturb the numerics (the bit-identity
+    tests hold it to that). :meth:`probe` is the
+    :meth:`LiveTelemetry.add_probe` target; reads are GIL-atomic snapshots,
+    consistent enough for sampling.
+    """
+
+    def __init__(self, name: str, total_steps: int,
+                 clock: Callable[[], float]):
+        self.name = name
+        self.total_steps = int(total_steps)
+        self.clock = clock
+        self.steps_done = 0
+        self.eot_epoch = 0
+        self.recoveries = 0
+        self.checkpoints = 0
+        self.last_checkpoint_t: Optional[float] = None
+        self.last_metrics: Dict[str, float] = {}
+        self.finished = False
+
+    # -- writers (training loop) ---------------------------------------
+    def step(self, step: int, **metrics: float) -> None:
+        """Record one completed optimizer step. Canonical gauge names the
+        SLO catalogue keys on: ``loss`` and ``grad_norm``; extras (e.g.
+        ``d_loss``, ``attack``) ride along under their own names."""
+        self.steps_done = int(step) + 1
+        cleaned = {}
+        for key, value in metrics.items():
+            try:
+                cleaned[key] = float(value)
+            except (TypeError, ValueError):
+                continue
+        self.last_metrics = cleaned
+
+    def checkpoint_saved(self) -> None:
+        self.checkpoints += 1
+        self.last_checkpoint_t = self.clock()
+
+    def recovery(self) -> None:
+        self.recoveries += 1
+
+    def set_epoch(self, eot_epoch: int) -> None:
+        self.eot_epoch = int(eot_epoch)
+
+    def finish(self) -> None:
+        self.finished = True
+
+    # -- reader (sampler) ----------------------------------------------
+    def probe(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "steps_done": float(self.steps_done),
+            "total_steps": float(self.total_steps),
+            "eot_epoch": float(self.eot_epoch),
+            "recoveries": float(self.recoveries),
+            "checkpoints": float(self.checkpoints),
+            "finished": 1.0 if self.finished else 0.0,
+        }
+        if self.total_steps > 0:
+            out["progress"] = self.steps_done / self.total_steps
+        if self.last_checkpoint_t is not None:
+            out["checkpoint_age_s"] = max(
+                0.0, self.clock() - self.last_checkpoint_t)
+        out.update(self.last_metrics)
+        return out
+
+
+def _train_steps_per_s(live: "LiveTelemetry", now: float) -> Optional[float]:
+    """Derived SLO input: optimizer steps per second over the window."""
+    return live.rate("train.steps_done", now)
+
+
+class TrainTelemetry(LiveTelemetry):
+    """Training-side live telemetry: trainer/pool/guard probes → SLOs.
+
+    The training analogue of the serve wiring (DESIGN.md §12 → §14): one
+    instance is threaded through a training entry point (``live=`` on
+    :func:`repro.attack.trainer.train_patch_attack`,
+    :func:`repro.gan.trainer.train_gan`,
+    :func:`repro.detection.train.train_detector` — ``live=None`` costs
+    nothing), trainers :meth:`attach` themselves and register their guard /
+    worker-pool / workspace probes, and each tick lands in ring-buffer
+    series, the SLO engine, and an atomic SIGKILL-durable
+    ``train_live.json``.
+
+    The **primary** trainer — the first to attach — additionally publishes
+    under the flat ``train.*`` namespace (``train.steps_done``,
+    ``train.loss``, ``train.grad_norm``, ``train.checkpoint_age_s``) with
+    the derived ``train.steps_per_s`` rate, which is what the stall /
+    divergence SLO catalogue keys on; every trainer (primary included)
+    also publishes under ``train.{name}.*`` so a nested warm-up
+    (attack → gan) stays distinguishable.
+
+    ``metrics`` enables delta-based mirroring into the registry on every
+    tick: cumulative trainer counters (steps, checkpoints, recoveries)
+    fold in as deltas and the final mirror at :meth:`stop` tops the totals
+    up exactly — periodic + final never double-count.
+    """
+
+    snapshot_name = TRAIN_SNAPSHOT_NAME
+
+    def __init__(self, directory: Optional[str] = None,
+                 config: Optional[LiveConfig] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer=None, metrics=None):
+        super().__init__(directory=directory, config=config, clock=clock,
+                         tracer=tracer, metrics=metrics)
+        self.trainers: Dict[str, TrainerState] = {}
+        self.primary: Optional[str] = None
+        self._probe_prefixes: set = set()
+        self._mirrored: Dict[str, float] = {}
+        if metrics is not None:
+            self.add_snapshot_writer(self.mirror_stats)
+
+    # -- registration ---------------------------------------------------
+    def attach(self, name: str, total_steps: int) -> TrainerState:
+        """Register one trainer; returns the ledger its step loop updates.
+
+        Re-attaching a name (e.g. a retried phase) reuses the existing
+        state so counters stay cumulative across attempts.
+        """
+        state = self.trainers.get(name)
+        if state is not None:
+            return state
+        state = TrainerState(name, total_steps, self.clock)
+        self.trainers[name] = state
+        self.add_probe(f"train.{name}", state.probe)
+        if self.primary is None:
+            self.primary = name
+            self.add_probe("train", state.probe)
+            self.add_derived("train.steps_per_s", _train_steps_per_s)
+        return state
+
+    def ensure_probe(self, prefix: str,
+                     fn: Callable[[], Optional[dict]]) -> None:
+        """Register a probe once per prefix — trainers re-entered across
+        divergence retries (and nested trainers sharing process-wide
+        sources like ``proc`` / ``workspace``) must not double-sample."""
+        if prefix in self._probe_prefixes:
+            return
+        self._probe_prefixes.add(prefix)
+        self.add_probe(prefix, fn)
+
+    def register_host_probes(self) -> None:
+        """Process-wide sources every trainer shares: RSS/CPU and conv
+        workspace occupancy. Idempotent, so a nested warm-up attaching
+        after its parent does not double-sample them. Imported lazily —
+        :mod:`repro.obs` must not depend on :mod:`repro.nn` at load."""
+        from ..nn.functional import conv_workspace_totals
+        from ..perf import process_stats
+        self.ensure_probe("proc", process_stats)
+        self.ensure_probe("workspace", conv_workspace_totals)
+
+    # -- metrics mirroring ---------------------------------------------
+    def mirror_stats(self) -> None:
+        """Fold trainer-ledger deltas into the metrics registry.
+
+        Runs on every sampler tick (snapshot-writer hook) and once more on
+        :meth:`stop`'s final sample; delta accounting makes the sum land
+        exactly on the cumulative totals however many ticks happened.
+        """
+        if self.metrics is None:
+            return
+        for name, state in self.trainers.items():
+            for counter, value in (("steps", state.steps_done),
+                                   ("checkpoints", state.checkpoints),
+                                   ("recoveries", state.recoveries)):
+                key = f"train.{name}.{counter}"
+                delta = value - self._mirrored.get(key, 0)
+                if delta > 0:
+                    self.metrics.counter(key).inc(delta)
+                    self._mirrored[key] = value
+            for gauge, value in state.last_metrics.items():
+                self.metrics.gauge(f"train.{name}.{gauge}").set(value)
+
+    # -- snapshot -------------------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        doc = super().snapshot(now)
+        doc["trainers"] = {
+            name: {
+                "total_steps": state.total_steps,
+                "steps_done": state.steps_done,
+                "checkpoints": state.checkpoints,
+                "recoveries": state.recoveries,
+                "finished": state.finished,
+                "primary": name == self.primary,
+            }
+            for name, state in sorted(self.trainers.items())
+        }
+        return doc

@@ -43,11 +43,13 @@ __all__ = ["SloRule", "SloRuleError", "Alert", "RuleState", "SloEngine",
 
 ALERT_SCHEMA_VERSION = 1
 
-#: metric name: dotted identifiers; op; numeric threshold.
+#: metric name: dotted identifiers; op; numeric threshold; optional
+#: debounce suffix (``for_ticks 3``).
 _RULE_RE = re.compile(
     r"^\s*(?P<metric>[A-Za-z_][\w.]*)\s*"
     r"(?P<op><=|>=|<|>)\s*"
-    r"(?P<threshold>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s*$"
+    r"(?P<threshold>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)"
+    r"(?:\s+for_ticks\s+(?P<for_ticks>\d+))?\s*$"
 )
 
 _OPS = {
@@ -85,11 +87,17 @@ class SloRule:
 
     @classmethod
     def parse(cls, text: str, for_ticks: int = 1) -> "SloRule":
+        """Parse ``"metric < threshold"``; an optional ``for_ticks N``
+        suffix (``"train.steps_per_s > 0.5 for_ticks 3"``) sets the
+        debounce and overrides the keyword default."""
         match = _RULE_RE.match(text)
         if match is None:
             raise SloRuleError(
                 f"cannot parse SLO rule {text!r} "
-                f"(expected 'metric < threshold', ops: < <= > >=)")
+                f"(expected 'metric < threshold [for_ticks N]', "
+                f"ops: < <= > >=)")
+        if match.group("for_ticks") is not None:
+            for_ticks = int(match.group("for_ticks"))
         return cls(metric=match.group("metric"), op=match.group("op"),
                    threshold=float(match.group("threshold")),
                    for_ticks=for_ticks)
@@ -99,7 +107,10 @@ class SloRule:
         return _OPS[self.op](value, self.threshold)
 
     def __str__(self) -> str:
-        return f"{self.metric} {self.op} {self.threshold:g}"
+        base = f"{self.metric} {self.op} {self.threshold:g}"
+        if self.for_ticks > 1:
+            return f"{base} for_ticks {self.for_ticks}"
+        return base
 
 
 @dataclass(frozen=True)

@@ -99,6 +99,18 @@ class ParallelEvaluator:
     def counters(self) -> PoolCounters:
         return self._pool.counters if self._pool is not None else PoolCounters()
 
+    def probe(self) -> dict:
+        """Live-telemetry probe (``LiveTelemetry.add_probe`` target).
+
+        Delegates to the worker pool's health counters; the serial
+        (``workers=0``) engine reports a minimal constant shape so SLO
+        rules over ``pool.workers_alive`` don't false-fire on serial runs.
+        """
+        if self._pool is not None:
+            return self._pool.probe()
+        return {"tasks": 0, "workers_alive": 0, "pending": 0,
+                "in_flight": 0, "utilization": 0.0, "serial": 1.0}
+
     # -- stepping ------------------------------------------------------
     def evaluate(self, params: Dict[str, np.ndarray], tasks: Sequence[dict],
                  n_samples: int, grad_keys: Sequence[str]) -> StepOutput:

@@ -328,6 +328,7 @@ class WorkerPool:
         exact synchronization."""
         in_flight = sum(1 for h in self._handles.values()
                         if h.task is not None)
+        workers = len(self._handles)
         return {
             "tasks": self.counters.tasks,
             "respawns": self.counters.respawns,
@@ -338,6 +339,8 @@ class WorkerPool:
                 1 for h in self._handles.values() if h.process.is_alive()),
             "pending": len(self._pending),
             "in_flight": in_flight,
+            # Busy fraction of the pool; 0.0 for a closed/empty pool.
+            "utilization": (in_flight / workers) if workers else 0.0,
         }
 
     def pump(self, timeout: float = 0.0) -> List[TaskOutcome]:

@@ -10,20 +10,28 @@ from typing import ContextManager, Dict, Iterator, Optional
 
 __all__ = ["StageStats", "PerfRecorder", "stage_scope", "process_stats"]
 
-_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, OSError, ValueError):
+    _PAGE_SIZE = 4096
+
+#: Module-level so tests (and exotic hosts) can point it elsewhere.
+_STATM_PATH = "/proc/self/statm"
 
 
-def process_stats() -> Dict[str, float]:
+def process_stats() -> Dict[str, Optional[float]]:
     """Cheap self-observation: resident set size and cumulative CPU time.
 
     Reads ``/proc/self/statm`` where available (Linux) and falls back to
     ``os.times()`` everywhere, so the live sampler can poll it at high
-    frequency on any platform without psutil. Keys: ``rss_mb`` (0.0 when
-    unknowable) and ``cpu_seconds`` (user + system of this process).
+    frequency on any platform without psutil. Keys: ``rss_mb`` (``None``
+    when unknowable — non-Linux hosts have no statm; the live sampler
+    skips non-float values, so the series is simply absent there) and
+    ``cpu_seconds`` (user + system of this process).
     """
-    rss_mb = 0.0
+    rss_mb: Optional[float] = None
     try:
-        with open("/proc/self/statm") as handle:
+        with open(_STATM_PATH) as handle:
             rss_pages = int(handle.read().split()[1])
         rss_mb = rss_pages * _PAGE_SIZE / (1024.0 * 1024.0)
     except (OSError, ValueError, IndexError):

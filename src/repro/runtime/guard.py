@@ -80,15 +80,24 @@ class DivergenceGuard:
         self.trips = 0
         self.last_trip_step: Optional[int] = None
         self.last_trip_reason: Optional[str] = None
+        self.last_checked_step: Optional[int] = None
+        self.last_checked: dict = {}
 
     def probe(self) -> dict:
-        """Live-telemetry probe: cumulative trips and the last trip step
+        """Live-telemetry probe: cumulative trips, the last trip step, and
+        the metrics most recently passed to :meth:`check` — the live
+        sampler reads loss/grad-norm gauges here without the training loop
+        publishing them twice
         (``repro.obs.live.LiveTelemetry.add_probe`` target)."""
-        return {
+        out = {
             "trips": self.trips,
             "last_trip_step": (-1 if self.last_trip_step is None
                                else self.last_trip_step),
         }
+        if self.last_checked_step is not None:
+            out["last_checked_step"] = self.last_checked_step
+        out.update(self.last_checked)
+        return out
 
     def _trip(self, step: int, name: str, reason: str) -> None:
         self.trips += 1
@@ -106,6 +115,9 @@ class DivergenceGuard:
         ``grad_norm_threshold``; every value is checked for finiteness.
         """
         threshold = self.config.grad_norm_threshold
+        self.last_checked_step = step
+        self.last_checked = {name: float(value)
+                             for name, value in metrics.items()}
         for name, value in metrics.items():
             value = float(value)
             if not math.isfinite(value):

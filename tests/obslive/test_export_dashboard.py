@@ -153,6 +153,104 @@ class TestDashboard:
         assert "detection_serve" in render_tty(dash)
 
 
+class TestTrainDashboard:
+    def make_train_run_dir(self, tmp_path):
+        from repro.obs import TrainTelemetry
+
+        run_dir = str(tmp_path)
+        clock = {"t": 0.0}
+
+        def tick():
+            clock["t"] += 1.0
+            return clock["t"]
+
+        live = TrainTelemetry(
+            directory=run_dir,
+            config=LiveConfig(window_s=4.0,
+                              rules=("train.steps_per_s > 0.5 for_ticks 2",)),
+            clock=tick)
+        state = live.attach("gan", 8)
+        live.ensure_probe("train.gan.pool",
+                          lambda: {"workers_alive": 2.0, "utilization": 0.5,
+                                   "in_flight": 1.0, "pending": 0.0,
+                                   "respawns": 0.0})
+        losses = iter([3.0, 2.0, 1.5, 1.2, 1.0, 0.9, 0.8, 0.7])
+        for step in range(8):
+            state.step(step, loss=next(losses), grad_norm=1.0)
+            if step == 0:
+                state.checkpoint_saved()
+            live.sample_once()
+        state.finish()
+        live.sample_once()
+        return run_dir
+
+    def test_gather_loads_train_live(self, tmp_path):
+        dash = gather_dashboard(self.make_train_run_dir(tmp_path))
+        assert dash["train_live"] is not None
+        assert dash["live"] is None  # no serving producer in this dir
+        assert dash["train_live"]["trainers"]["gan"]["finished"] is True
+        assert "train.loss" in dash["train_live"]["series"]
+
+    def test_tty_render_has_train_section(self, tmp_path):
+        dash = gather_dashboard(self.make_train_run_dir(tmp_path))
+        text = render_tty(dash)
+        assert "gan" in text
+        assert "train.loss" in text
+        assert "train.steps_per_s" in text
+        assert "train.steps_per_s > 0.5 for_ticks 2" in text
+        assert "worker pools:" in text  # health grid from train.gan.pool.*
+        assert "workers_alive=2" in text
+
+    def test_html_render_has_train_cards(self, tmp_path):
+        dash = gather_dashboard(self.make_train_run_dir(tmp_path))
+        html = render_html(dash, title="train unit")
+        assert "Training" in html
+        assert "train.loss" in html
+        assert "Training SLOs" in html
+        assert "<script src=" not in html
+
+    def test_mixed_dir_renders_both_producers(self, tmp_path):
+        serve_dir = TestDashboard().make_run_dir(tmp_path)
+        self.make_train_run_dir(tmp_path)
+        dash = gather_dashboard(serve_dir)
+        assert dash["live"] is not None and dash["train_live"] is not None
+        text = render_tty(dash)
+        assert "serve.depth" in text and "train.loss" in text
+
+
+class TestDashboardViews:
+    def test_cli_view_filters_producers(self, tmp_path):
+        import subprocess
+        import sys
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        TestDashboard().make_run_dir(run_dir)
+        TestTrainDashboard().make_train_run_dir(run_dir)
+        repo = os.path.join(os.path.dirname(__file__), "..", "..")
+        script = os.path.join(repo, "scripts", "obs_dashboard.py")
+        env = dict(os.environ, PYTHONPATH=os.path.join(repo, "src"))
+
+        def run_view(view):
+            out = subprocess.run([sys.executable, script, run_dir,
+                                  "--view", view],
+                                 capture_output=True, text=True, env=env)
+            assert out.returncode == 0, out.stderr
+            return out.stdout
+
+        # serve.depth leaks into every view via the *shared* alerts file,
+        # so view isolation is asserted on alert-free series names.
+        both = run_view("all")
+        assert "serve.latency_p99_ms" in both and "train.loss" in both
+        serve_only = run_view("serve")
+        assert "serve.latency_p99_ms" in serve_only
+        assert "train.loss" not in serve_only
+        train_only = run_view("train")
+        assert "train.loss" in train_only
+        assert "serve.latency_p99_ms" not in train_only
+        # Alerts are shared files: visible from every view.
+        assert "violation" in serve_only and "violation" in train_only
+
+
 class TestSparkline:
     def test_sparkline_shapes(self):
         assert sparkline([]) == ""

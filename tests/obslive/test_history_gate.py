@@ -120,14 +120,21 @@ class TestBenchGates:
         serve = load_script("bench_serve.py")
         with open(os.path.join(REPO_ROOT, "BENCH_hotpath.json")) as handle:
             hot_report = json.load(handle)
+        with open(os.path.join(REPO_ROOT, "BENCH_serve.json")) as handle:
+            serve_report = json.load(handle)
+        with open(os.path.join(REPO_ROOT, "BENCH_train.json")) as handle:
+            train_report = json.load(handle)
         assert hot.check_history_trend(
             COMMITTED_HISTORY,
             {"batched_fps": hot_report["batched_fps"]}) == 0
         assert train.check_history_trend(
-            COMMITTED_HISTORY, {"parallel_steps_per_sec": 1.0}) == 0
+            COMMITTED_HISTORY,
+            {"parallel_steps_per_sec":
+             train_report["parallel_steps_per_sec"]}) == 0
         assert serve.check_history_trend(
             COMMITTED_HISTORY,
-            {"sustained_fps": 1.0, "latency_p99_ms": 1e9}) == 0
+            {"sustained_fps": serve_report["sustained_fps"],
+             "latency_p99_ms": serve_report["latency_p99_ms"]}) == 0
 
     def test_injected_regression_fails_the_hotpath_gate(self, tmp_path):
         """Copy the committed history, extend it to a judgeable window,

@@ -37,6 +37,32 @@ class TestRuleParsing:
         with pytest.raises(SloRuleError):
             SloRule.parse(text)
 
+    def test_parse_for_ticks_suffix(self):
+        rule = SloRule.parse("train.steps_per_s > 0.5 for_ticks 3")
+        assert rule.metric == "train.steps_per_s"
+        assert rule.op == ">" and rule.threshold == pytest.approx(0.5)
+        assert rule.for_ticks == 3
+
+    def test_for_ticks_suffix_overrides_keyword_default(self):
+        rule = SloRule.parse("latency < 100 for_ticks 5", for_ticks=2)
+        assert rule.for_ticks == 5
+
+    def test_for_ticks_suffix_roundtrips_through_str(self):
+        rule = SloRule.parse("train.grad_norm < 1e3 for_ticks 4")
+        assert str(rule) == "train.grad_norm < 1000 for_ticks 4"
+        assert SloRule.parse(str(rule)) == rule
+
+    def test_for_ticks_one_str_stays_bare(self):
+        assert str(SloRule.parse("x < 5 for_ticks 1")) == "x < 5"
+
+    @pytest.mark.parametrize("text", [
+        "x < 5 for_ticks 0", "x < 5 for_ticks", "x < 5 for_ticks -1",
+        "x < 5 for_ticks 1.5", "x < 5 forticks 3",
+    ])
+    def test_bad_for_ticks_suffix_rejected(self, text):
+        with pytest.raises(SloRuleError):
+            SloRule.parse(text)
+
     def test_healthy_is_the_objective(self):
         rule = SloRule.parse("shed_rate < 0.05")
         assert rule.healthy(0.01)

@@ -1,0 +1,392 @@
+"""Training-side live telemetry: trainer ledgers, the TrainTelemetry
+pipeline, stall/divergence SLOs, and the non-perturbation contract.
+
+The acceptance scenarios from DESIGN.md §14 all live here:
+
+* a fake-clock run with telemetry attached produces **bit-identical**
+  weights to the same-seed ``live=None`` run, with sampling provably
+  happening mid-run;
+* an injected trainer hang crosses the stall rule **exactly once** and
+  recovers exactly once when steps resume;
+* SIGKILLing an engine-mode training process mid-run leaves a loadable
+  ``train_live.json`` and a parseable ``alerts.jsonl``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.gan.discriminator import PatchDiscriminator
+from repro.gan.generator import PatchGenerator
+from repro.gan.trainer import GanTrainConfig, train_gan
+from repro.obs import (
+    LiveConfig,
+    Metrics,
+    TrainTelemetry,
+    TrainerState,
+    load_train_snapshot,
+)
+from repro.obs.slo import load_alerts
+
+pytestmark = pytest.mark.obslive
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+def _small_models():
+    return (PatchGenerator(patch_size=16, latent_dim=8, base_channels=8,
+                           seed=3),
+            PatchDiscriminator(patch_size=16, seed=4))
+
+
+def _state_bytes(module):
+    return {key: np.asarray(value).tobytes()
+            for key, value in module.state_dict().items()}
+
+
+class TestTrainerLedger:
+    def test_step_records_progress_and_metrics(self):
+        clock = FakeClock()
+        state = TrainerState("gan", total_steps=10, clock=clock)
+        state.step(3, loss=0.5, grad_norm=2.0)
+        probe = state.probe()
+        assert probe["steps_done"] == 4.0       # step index 3 => 4 complete
+        assert probe["total_steps"] == 10.0
+        assert probe["progress"] == pytest.approx(0.4)
+        assert probe["loss"] == 0.5
+        assert probe["grad_norm"] == 2.0
+        assert probe["finished"] == 0.0
+
+    def test_non_numeric_metric_values_are_dropped(self):
+        state = TrainerState("gan", 10, FakeClock())
+        state.step(0, loss=1.0, note="diverged")
+        probe = state.probe()
+        assert probe["loss"] == 1.0
+        assert "note" not in probe
+
+    def test_checkpoint_age_tracks_injected_clock(self):
+        clock = FakeClock()
+        state = TrainerState("gan", 10, clock)
+        assert "checkpoint_age_s" not in state.probe()  # never checkpointed
+        clock.advance(5.0)
+        state.checkpoint_saved()
+        clock.advance(4.0)
+        probe = state.probe()
+        assert probe["checkpoint_age_s"] == pytest.approx(4.0)
+        assert probe["checkpoints"] == 1.0
+
+    def test_zero_total_steps_has_no_progress(self):
+        probe = TrainerState("adhoc", 0, FakeClock()).probe()
+        assert "progress" not in probe
+
+    def test_recovery_epoch_and_finish(self):
+        state = TrainerState("gan", 10, FakeClock())
+        state.recovery()
+        state.set_epoch(2)
+        state.finish()
+        probe = state.probe()
+        assert probe["recoveries"] == 1.0
+        assert probe["eot_epoch"] == 2.0
+        assert probe["finished"] == 1.0
+
+
+class TestTrainTelemetry:
+    def test_primary_trainer_aliases_flat_train_namespace(self):
+        live = TrainTelemetry(clock=FakeClock())
+        attack = live.attach("attack", 10)
+        gan = live.attach("gan", 5)
+        attack.step(0, loss=3.0)
+        gan.step(0, loss=1.0)
+        observed = live.sample_once(1.0)
+        # First attach is primary: publishes both flat and namespaced.
+        assert observed["train.steps_done"] == 1.0
+        assert observed["train.loss"] == 3.0
+        assert observed["train.attack.loss"] == 3.0
+        # Secondary trainers only publish namespaced.
+        assert observed["train.gan.loss"] == 1.0
+        assert live.primary == "attack"
+
+    def test_reattach_reuses_ledger(self):
+        live = TrainTelemetry(clock=FakeClock())
+        first = live.attach("gan", 10)
+        first.step(4)
+        again = live.attach("gan", 99)
+        assert again is first
+        assert again.steps_done == 5  # cumulative across attempts
+
+    def test_derived_steps_per_s_from_fake_clock(self):
+        live = TrainTelemetry(clock=FakeClock())
+        state = live.attach("gan", 10)
+        state.step(0)
+        live.sample_once(1.0)
+        state.step(1)
+        state.step(2)
+        observed = live.sample_once(3.0)
+        # 2 steps over 2 fake seconds.
+        assert observed["train.steps_per_s"] == pytest.approx(1.0)
+
+    def test_ensure_probe_registers_once_per_prefix(self):
+        live = TrainTelemetry(clock=FakeClock())
+        calls = [0]
+
+        def probe():
+            calls[0] += 1
+            return {"value": 1.0}
+
+        live.ensure_probe("pool", probe)
+        live.ensure_probe("pool", probe)
+        live.sample_once(1.0)
+        assert calls[0] == 1
+
+    def test_host_probes_sample_proc_and_workspace(self):
+        live = TrainTelemetry(clock=FakeClock())
+        live.register_host_probes()
+        live.register_host_probes()  # idempotent
+        observed = live.sample_once(1.0)
+        assert "proc.cpu_seconds" in observed
+        assert "workspace.buffer_bytes" in observed
+        assert sum(1 for prefix, _ in live._probes if prefix == "proc") == 1
+
+    def test_snapshot_file_is_train_live_json(self, tmp_path):
+        live = TrainTelemetry(directory=str(tmp_path), clock=FakeClock())
+        state = live.attach("gan", 4)
+        state.step(0, loss=1.0)
+        live.sample_once(1.0)
+        assert os.path.exists(os.path.join(tmp_path, "train_live.json"))
+        assert not os.path.exists(os.path.join(tmp_path, "live.json"))
+        doc = load_train_snapshot(os.path.join(tmp_path, "train_live.json"))
+        assert doc["trainers"]["gan"]["primary"] is True
+        assert doc["trainers"]["gan"]["steps_done"] == 1
+        assert "train.loss" in doc["series"]
+
+    def test_mirror_totals_are_exact_over_many_ticks(self):
+        """Periodic per-tick mirrors plus the final stop() mirror must sum
+        to the cumulative ledger totals — never double-counted."""
+        metrics = Metrics()
+        live = TrainTelemetry(clock=FakeClock(), metrics=metrics)
+        state = live.attach("gan", 10)
+        state.step(0, loss=2.0)
+        state.checkpoint_saved()
+        live.sample_once(1.0)
+        state.step(1, loss=1.5)
+        live.sample_once(2.0)
+        live.sample_once(3.0)  # idle tick: no new deltas to fold
+        state.recovery()
+        live.stop(final_sample=True)  # final mirror tops up exactly
+        counters = metrics.snapshot()["counters"]
+        assert counters["train.gan.steps"] == 2.0
+        assert counters["train.gan.checkpoints"] == 1.0
+        assert counters["train.gan.recoveries"] == 1.0
+        assert metrics.snapshot()["gauges"]["train.gan.loss"] == 1.5
+
+
+class TestZeroOverhead:
+    def test_live_none_run_spawns_no_sampler_thread(self, tmp_path):
+        generator, discriminator = _small_models()
+        before = {t.name for t in threading.enumerate()}
+        train_gan(generator, discriminator, "star",
+                  GanTrainConfig(steps=2, batch_size=4))
+        after = {t.name for t in threading.enumerate()} - before
+        assert not any("live-sampler" in name for name in after)
+        assert os.listdir(tmp_path) == []
+
+    def test_unstarted_telemetry_spawns_no_thread(self):
+        before = {t.name for t in threading.enumerate()}
+        live = TrainTelemetry(clock=FakeClock())
+        live.attach("gan", 4)
+        after = {t.name for t in threading.enumerate()} - before
+        assert not any("live-sampler" in name for name in after)
+
+
+class TestNonPerturbation:
+    def test_live_attached_run_is_bit_identical(self, tmp_path, monkeypatch):
+        """Probes are pure readers: a same-seed run with telemetry sampling
+        every step produces byte-identical weights to a live=None run."""
+        import repro.gan.trainer as gan_trainer
+
+        config = GanTrainConfig(steps=6, batch_size=4)
+        baseline_g, baseline_d = _small_models()
+        train_gan(baseline_g, baseline_d, "star", config)
+
+        clock = FakeClock()
+        live = TrainTelemetry(directory=str(tmp_path / "run"),
+                              config=LiveConfig(interval_s=1.0),
+                              clock=clock)
+        real_sample = gan_trainer.sample_batch
+
+        def hooked(*args, **kwargs):
+            # Tick the sampler between steps; pass the batch through
+            # untouched so the rng stream is identical.
+            live.sample_once(clock.advance(1.0))
+            return real_sample(*args, **kwargs)
+
+        monkeypatch.setattr(gan_trainer, "sample_batch", hooked)
+        live_g, live_d = _small_models()
+        train_gan(live_g, live_d, "star", config, live=live)
+
+        assert live.ticks >= config.steps  # sampling really happened
+        assert _state_bytes(live_g) == _state_bytes(baseline_g)
+        assert _state_bytes(live_d) == _state_bytes(baseline_d)
+
+    def test_pipeline_records_trainer_and_guard_series(
+            self, tmp_path, monkeypatch):
+        import repro.gan.trainer as gan_trainer
+
+        clock = FakeClock()
+        live = TrainTelemetry(directory=str(tmp_path),
+                              config=LiveConfig(interval_s=1.0),
+                              clock=clock)
+        real_sample = gan_trainer.sample_batch
+        monkeypatch.setattr(
+            gan_trainer, "sample_batch",
+            lambda *a, **k: (live.sample_once(clock.advance(1.0)),
+                             real_sample(*a, **k))[1])
+        generator, discriminator = _small_models()
+        train_gan(generator, discriminator, "star",
+                  GanTrainConfig(steps=4, batch_size=4), live=live)
+        live.sample_once(clock.advance(1.0))
+
+        names = live.series_names()
+        assert "train.loss" in names and "train.gan.loss" in names
+        assert "train.steps_per_s" in names
+        assert "train.gan.guard.trips" in names
+        assert "train.checkpoint_age_s" in names
+        assert "proc.cpu_seconds" in names
+        doc = load_train_snapshot(os.path.join(tmp_path, "train_live.json"))
+        assert doc["trainers"]["gan"]["finished"] is True
+        assert doc["trainers"]["gan"]["steps_done"] == 4
+
+
+class TestStallSlo:
+    def test_injected_hang_fires_one_violation_then_one_recovery(
+            self, tmp_path, monkeypatch):
+        """A mid-run hang (sampler ticks, no step progress) decays
+        train.steps_per_s through the stall rule exactly once; resuming
+        steps recovers it exactly once."""
+        import repro.gan.trainer as gan_trainer
+
+        clock = FakeClock()
+        live = TrainTelemetry(
+            directory=str(tmp_path),
+            config=LiveConfig(interval_s=1.0, window_s=4.0,
+                              rules=("train.steps_per_s > 0.5 for_ticks 2",)),
+            clock=clock)
+        real_sample = gan_trainer.sample_batch
+        calls = [0]
+
+        def hooked(*args, **kwargs):
+            calls[0] += 1
+            live.sample_once(clock.advance(1.0))
+            if calls[0] == 9:
+                # The hang: five sampler ticks with zero steps landing.
+                for _ in range(5):
+                    live.sample_once(clock.advance(1.0))
+            return real_sample(*args, **kwargs)
+
+        monkeypatch.setattr(gan_trainer, "sample_batch", hooked)
+        generator, discriminator = _small_models()
+        train_gan(generator, discriminator, "star",
+                  GanTrainConfig(steps=16, batch_size=4), live=live)
+
+        kinds = [alert.kind for alert in live.engine.alerts]
+        assert kinds == ["violation", "recovery"]
+        rule = "train.steps_per_s > 0.5 for_ticks 2"
+        assert all(alert.rule == rule for alert in live.engine.alerts)
+        assert live.engine.violated_rules() == []  # healthy at the end
+        # The durable sink saw exactly the same two transitions.
+        alerts = load_alerts(os.path.join(tmp_path, "alerts.jsonl"))
+        assert [alert.kind for alert in alerts] == ["violation", "recovery"]
+
+
+SIGKILL_CHILD = textwrap.dedent("""
+    import os, sys, threading, time
+    sys.path.insert(0, {src!r})
+    from repro.gan.discriminator import PatchDiscriminator
+    from repro.gan.generator import PatchGenerator
+    from repro.gan.trainer import GanTrainConfig, train_gan
+    from repro.obs import LiveConfig, TrainTelemetry
+
+    run_dir = sys.argv[1]
+    live = TrainTelemetry(
+        directory=run_dir,
+        config=LiveConfig(interval_s=0.02,
+                          rules=("train.steps_per_s > 1e9",)))
+    live.start()
+
+    def announce():
+        while True:
+            if (os.path.exists(os.path.join(run_dir, "train_live.json"))
+                    and os.path.exists(os.path.join(run_dir,
+                                                    "alerts.jsonl"))):
+                print("READY", flush=True)
+                return
+            time.sleep(0.01)
+
+    threading.Thread(target=announce, daemon=True).start()
+    generator = PatchGenerator(patch_size=16, latent_dim=8,
+                               base_channels=8, seed=3)
+    discriminator = PatchDiscriminator(patch_size=16, seed=4)
+    # Engine-mode schedule (workers=0), effectively unbounded step count:
+    # trains until SIGKILLed, never stops the sampler cleanly.
+    train_gan(generator, discriminator, "star",
+              GanTrainConfig(steps=10**9, batch_size=4, workers=0),
+              live=live)
+""")
+
+
+class TestSigkillDurability:
+    def test_sigkilled_training_leaves_loadable_artifacts(self, tmp_path):
+        """SIGKILL an engine-mode training process mid-run: the atomic
+        train_live.json must load whole and alerts.jsonl must parse."""
+        run_dir = str(tmp_path / "run")
+        child_src = SIGKILL_CHILD.format(
+            src=os.path.abspath(os.path.join(REPO_ROOT, "src")))
+        proc = subprocess.Popen([sys.executable, "-c", child_src, run_dir],
+                                stdout=subprocess.PIPE, text=True)
+        try:
+            line = ""
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if "READY" in line or proc.poll() is not None:
+                    break
+            assert "READY" in line, "child never produced telemetry files"
+            time.sleep(0.2)  # a few more sampler ticks mid-training
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        doc = load_train_snapshot(os.path.join(run_dir, "train_live.json"))
+        assert doc["ticks"] >= 1
+        assert "train.steps_done" in doc["series"]
+        assert doc["trainers"]["gan"]["primary"] is True
+
+        # steps_per_s can never exceed 1e9, so the rule is violated as
+        # soon as a rate is observable — and every line is whole JSON.
+        alerts = load_alerts(os.path.join(run_dir, "alerts.jsonl"))
+        assert len(alerts) >= 1
+        assert alerts[0].kind == "violation"
+        assert alerts[0].metric == "train.steps_per_s"

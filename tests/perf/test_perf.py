@@ -2,6 +2,7 @@
 
 import contextlib
 import json
+import os
 import time
 
 import numpy as np
@@ -124,6 +125,38 @@ class TestLayerProfiler:
         profiler.attach()
         assert len(profiler._wrapped) == wrapped
         profiler.detach()
+
+
+class TestProcessStats:
+    def test_normal_path_reports_rss_and_cpu(self):
+        from repro.perf import process_stats
+        stats = process_stats()
+        assert stats["cpu_seconds"] >= 0.0
+        if os.path.exists("/proc/self/statm"):
+            assert stats["rss_mb"] > 0.0
+
+    def test_missing_statm_degrades_to_none(self, monkeypatch):
+        """Satellite fix: a host without /proc/self/statm (macOS,
+        restricted containers) must get None-valued stats, not a raise."""
+        import repro.perf.timers as timers
+        monkeypatch.setattr(timers, "_STATM_PATH",
+                            "/nonexistent/statm-for-test")
+        stats = timers.process_stats()
+        assert stats["rss_mb"] is None
+        assert isinstance(stats["cpu_seconds"], float)
+
+    def test_live_sampler_skips_none_valued_stats(self, monkeypatch):
+        """The live probe path: a None gauge is dropped for the tick
+        instead of poisoning the series or killing the sampler."""
+        import repro.perf.timers as timers
+        from repro.obs import LiveTelemetry
+        monkeypatch.setattr(timers, "_STATM_PATH",
+                            "/nonexistent/statm-for-test")
+        live = LiveTelemetry()
+        live.add_probe("proc", timers.process_stats)
+        observed = live.sample_once(1.0)
+        assert "proc.rss_mb" not in observed
+        assert "proc.cpu_seconds" in observed
 
 
 class TestReportIo:
