@@ -11,14 +11,23 @@ times:
   confirm time;
 * **lowered** — the same batched run through the eval-time lowered
   detector (``TinyYolo.lower()``, DESIGN.md §13): BN folded, fused
-  epilogues, pre-planned buffers.
+  epilogues, pre-planned buffers;
+* **quant** — the same batched run through the int8-quantized plan
+  (``TinyYolo.quantize()``, DESIGN.md §15), calibrated on the first
+  frames of the bench video. Unlike the first three phases this one is
+  an *accuracy-vs-speed point*: instead of trace identity it records an
+  accuracy budget — per-layer activation error vs the lowered fp graph
+  plus end-to-end PWC/CWC deltas vs the fp oracle on the seed
+  challenge — and refuses to report a speedup when the budget is blown.
 
-All traces are asserted behaviourally identical (same detections,
-confirmations and planner actions frame by frame) before any number is
-reported, so no speedup can come from changed semantics. The JSON report
-seeds the repo's perf trajectory; re-run with ``--check`` in CI to fail
-on a >20% frames/sec regression against the committed report, or on the
-lowered forward stage falling under its speedup floor.
+The first three traces are asserted behaviourally identical (same
+detections, confirmations and planner actions frame by frame) before any
+number is reported, so no speedup can come from changed semantics. The
+JSON report seeds the repo's perf trajectory; re-run with ``--check`` in
+CI to fail on a >20% frames/sec regression against the committed report,
+on the lowered forward stage falling under its speedup floor, or on the
+quantized forward falling under its own floor vs the lowered forward of
+the same invocation.
 
 Usage::
 
@@ -48,8 +57,11 @@ from repro.obs import (  # noqa: E402
     config_digest,
     host_info,
 )
+from repro.eval.protocol import run_challenge  # noqa: E402
+from repro.nn.quant import activation_error_stats, calibrate_detector  # noqa: E402
 from repro.obs.history import check_trend  # noqa: E402
 from repro.perf import LayerProfiler, PerfRecorder, load_report, write_report  # noqa: E402
+from repro.scene.video import AttackScenario  # noqa: E402
 
 DEFAULT_REPORT = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
 DEFAULT_HISTORY = os.path.join(os.path.dirname(__file__), "..", "BENCH_history.jsonl")
@@ -61,6 +73,18 @@ REGRESSION_TOLERANCE = 0.20
 #: (same machine, same load — immune to cross-host drift in the
 #: committed report).
 LOWERED_FORWARD_FLOOR = 1.3
+#: --check fails when the int8 forward stage is not at least this much
+#: faster than the *lowered* forward stage of the same invocation —
+#: quantization must pay for its accuracy loss on top of lowering, not
+#: merely match it.
+QUANT_FORWARD_FLOOR = 1.15
+#: Declared accuracy budget of the quantized path: |PWC(int8) − PWC(fp)|
+#: on the seed challenge must stay within this absolute delta, and the
+#: CWC majority outcome must match. Enforced at report time — a blown
+#: budget refuses to report the speedup at all.
+QUANT_PWC_TOLERANCE = 0.05
+#: Frames of the bench video used for the calibration pass.
+QUANT_CALIBRATION_FRAMES = 16
 
 
 def bench_config(args: argparse.Namespace) -> dict:
@@ -97,14 +121,16 @@ def bench_manifest(config: dict, run_id: str) -> dict:
     }
 
 
-def build_pipeline(args: argparse.Namespace, lowered: bool = False) -> AvPipeline:
+def build_pipeline(args: argparse.Namespace, lowered: bool = False,
+                   precision: str = "fp", calibration=None) -> AvPipeline:
     detector = TinyYolo(
         reduced_config(input_size=args.input_size,
                        width_multiplier=args.width),
         seed=args.seed,
     )
     return AvPipeline(detector, confirm_frames=3,
-                      conf_threshold=args.conf_threshold, lowered=lowered)
+                      conf_threshold=args.conf_threshold, lowered=lowered,
+                      precision=precision, calibration=calibration)
 
 
 def make_video(args: argparse.Namespace) -> list:
@@ -193,6 +219,52 @@ def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
     forward_speedup = (perf.stage_seconds("forward")
                        / lowered_perf.stage_seconds("forward"))
 
+    # Fourth phase: the int8-quantized plan (DESIGN.md §15). Calibrated on
+    # the leading frames of the same video, timed against the *lowered*
+    # forward of this invocation (quantization must beat the strongest fp
+    # baseline, not the eager one), and reported with its accuracy budget
+    # instead of trace identity.
+    calibration = calibrate_detector(
+        lowered_pipeline.infer_model,
+        np.stack(frames[:QUANT_CALIBRATION_FRAMES]))
+    quant_pipeline = build_pipeline(args, precision="int8",
+                                    calibration=calibration)
+    quant_pipeline.run(frames[: min(4, len(frames))],
+                       batch_size=args.batch_size)  # warm the plan cache
+    quant_perf = PerfRecorder()
+    start = time.perf_counter()
+    quant_traces = quant_pipeline.run(frames, batch_size=args.batch_size,
+                                      perf=quant_perf)
+    quant_seconds = time.perf_counter() - start
+    quant_fps = len(frames) / quant_seconds
+    quant_forward_speedup = (lowered_perf.stage_seconds("forward")
+                             / quant_perf.stage_seconds("forward"))
+    action_agreement = float(np.mean([
+        ref.decision.action == q.decision.action
+        for ref, q in zip(reference_traces, quant_traces)]))
+
+    # Accuracy budget, half one: per-layer activation error vs the lowered
+    # fp graph on one bench batch.
+    layer_errors = activation_error_stats(
+        lowered_pipeline.infer_model, quant_pipeline.infer_model,
+        np.stack(frames[: args.batch_size]))
+    worst_layer = max(layer_errors, key=lambda k: layer_errors[k]["max_rel"])
+    # Accuracy budget, half two: end-to-end PWC/CWC vs the fp oracle on
+    # the seed challenge (rendered scene, not noise frames).
+    scenario = AttackScenario(image_size=args.input_size)
+    oracle = run_challenge(quant_pipeline.detector, scenario, "speed/normal",
+                           n_runs=1, seed=args.seed, lowered=True)
+    quant_result = run_challenge(quant_pipeline.detector, scenario,
+                                 "speed/normal", n_runs=1, seed=args.seed,
+                                 precision="int8", calibration=calibration)
+    pwc_delta = abs(quant_result.pwc - oracle.pwc)
+    cwc_match = bool(quant_result.cwc == oracle.cwc)
+    if pwc_delta > QUANT_PWC_TOLERANCE or not cwc_match:
+        raise SystemExit(
+            f"FATAL: quantized accuracy budget blown — |ΔPWC|={pwc_delta:.4f}"
+            f" (tolerance {QUANT_PWC_TOLERANCE}), CWC match={cwc_match} — "
+            "refusing to report a speedup outside the declared budget")
+
     config = bench_config(args)
     run_id = obs.run_id if obs is not None else f"bench-{uuid.uuid4().hex[:12]}"
     payload = {
@@ -213,6 +285,39 @@ def run_benchmark(args: argparse.Namespace, obs=None) -> dict:
                 perf.stage_seconds("forward"), 6),
             "forward_speedup": round(forward_speedup, 3),
             "floor": LOWERED_FORWARD_FLOOR,
+        },
+        "quant": {
+            "fps": round(quant_fps, 2),
+            "forward_seconds": round(
+                quant_perf.stage_seconds("forward"), 6),
+            "lowered_forward_seconds": round(
+                lowered_perf.stage_seconds("forward"), 6),
+            "forward_speedup_vs_lowered": round(quant_forward_speedup, 3),
+            "floor": QUANT_FORWARD_FLOOR,
+            "calibration": {
+                "frames": calibration.frames,
+                "percentile": calibration.percentile,
+                "digest": calibration.digest()[:12],
+            },
+            "activation_error": {
+                "worst_layer": worst_layer,
+                "max_rel": round(layer_errors[worst_layer]["max_rel"], 5),
+                "max_abs": round(layer_errors[worst_layer]["max_abs"], 5),
+                "per_layer_max_rel": {
+                    name: round(err["max_rel"], 5)
+                    for name, err in sorted(layer_errors.items())},
+            },
+            "accuracy": {
+                "challenge": "speed/normal",
+                "pwc_fp": round(oracle.pwc, 4),
+                "pwc_int8": round(quant_result.pwc, 4),
+                "pwc_delta": round(pwc_delta, 4),
+                "pwc_tolerance": QUANT_PWC_TOLERANCE,
+                "cwc_fp": oracle.cwc,
+                "cwc_int8": quant_result.cwc,
+                "cwc_match": cwc_match,
+                "action_agreement": round(action_agreement, 4),
+            },
         },
     }
 
@@ -254,6 +359,30 @@ def check_lowered_floor(payload: dict) -> int:
     return 0
 
 
+def check_quant_floor(payload: dict) -> int:
+    """Quantized-forward gate: measured against the *lowered* forward
+    stage of the same invocation, plus the declared accuracy budget
+    (already enforced at report time — re-asserted here so a hand-edited
+    report cannot sneak past the gate)."""
+    quant = payload["quant"]
+    speedup = quant["forward_speedup_vs_lowered"]
+    accuracy = quant["accuracy"]
+    print(f"quant forward speedup vs lowered: {speedup:.2f}x  "
+          f"floor: {QUANT_FORWARD_FLOOR:.2f}x")
+    print(f"quant accuracy: |ΔPWC|={accuracy['pwc_delta']:.4f} "
+          f"(tolerance {accuracy['pwc_tolerance']})  "
+          f"CWC match: {accuracy['cwc_match']}")
+    if speedup < QUANT_FORWARD_FLOOR:
+        print("FAIL: quantized forward under its speedup floor")
+        return 1
+    if (accuracy["pwc_delta"] > accuracy["pwc_tolerance"]
+            or not accuracy["cwc_match"]):
+        print("FAIL: quantized accuracy budget blown")
+        return 1
+    print("OK: quantized forward above floor, accuracy within budget")
+    return 0
+
+
 def check_history_trend(history_path: str, payload: dict) -> int:
     """Second half of the --check gate: the fresh number against the
     robust median/MAD trend of the append-only history (a single
@@ -262,11 +391,17 @@ def check_history_trend(history_path: str, payload: dict) -> int:
     if not history_path or not os.path.exists(history_path):
         print("trend: no history file — pass")
         return 0
-    verdict = check_trend(history_path, "av_pipeline_hotpath",
-                          "batched_fps", payload["batched_fps"],
-                          direction="higher")
-    print(verdict.describe())
-    return 0 if verdict.ok else 1
+    status = 0
+    fields = [("batched_fps", payload["batched_fps"])]
+    if "quant" in payload:  # pre-quant payloads have no int8 phase
+        fields.append(("quant_fps", payload["quant"]["fps"]))
+    for field, value in fields:
+        verdict = check_trend(history_path, "av_pipeline_hotpath",
+                              field, value, direction="higher")
+        print(verdict.describe())
+        if not verdict.ok:
+            status = 1
+    return status
 
 
 def main(argv=None) -> int:
@@ -306,6 +441,13 @@ def main(argv=None) -> int:
     print(f"lowered:   {lowered['fps']:.2f} fps   "
           f"forward speedup: {lowered['forward_speedup']:.2f}x   "
           f"trace-identical: {lowered['trace_identical']}")
+    quant = payload["quant"]
+    print(f"quant:     {quant['fps']:.2f} fps   "
+          f"forward speedup vs lowered: "
+          f"{quant['forward_speedup_vs_lowered']:.2f}x   "
+          f"|ΔPWC|: {quant['accuracy']['pwc_delta']:.4f}   "
+          f"worst layer rel err: {quant['activation_error']['max_rel']:.4f} "
+          f"({quant['activation_error']['worst_layer']})")
     for name, stage in payload["perf"]["stages"].items():
         print(f"  {name:>8}: {stage['seconds']*1e3:8.1f} ms  "
               f"({stage['share']:5.1%})  {stage['calls']} calls")
@@ -314,6 +456,7 @@ def main(argv=None) -> int:
     if args.check:
         status = check_regression(args.output, payload)
         status = max(status, check_lowered_floor(payload))
+        status = max(status, check_quant_floor(payload))
         status = max(status, check_history_trend(args.history, payload))
     else:
         write_report(args.output, payload)
@@ -334,6 +477,9 @@ def main(argv=None) -> int:
             "speedup": payload["speedup"],
             "lowered_fps": payload["lowered"]["fps"],
             "lowered_forward_speedup": payload["lowered"]["forward_speedup"],
+            "quant_fps": payload["quant"]["fps"],
+            "quant_forward_speedup": payload["quant"]["forward_speedup_vs_lowered"],
+            "quant_pwc_delta": payload["quant"]["accuracy"]["pwc_delta"],
         })
     return status
 

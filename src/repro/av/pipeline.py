@@ -17,6 +17,7 @@ import numpy as np
 from ..detection.decode import Detection, batched_detections, detections_from_outputs
 from ..detection.model import TinyYolo
 from ..nn import Tensor, no_grad
+from ..nn.quant import resolve_inference_model
 from ..obs import Run, span_scope
 from ..perf import PerfRecorder, stage_scope
 from ..runtime import FaultSchedule
@@ -62,10 +63,17 @@ class AvPipeline:
         (layer profiling, checkpoint reloads); detection forwards use
         ``self.infer_model``. Default off — trainers and attack loops
         need the differentiable graph.
+    precision:
+        ``"fp"`` (default) or ``"int8"``. Int8 compiles the quantized
+        inference plan (DESIGN.md §15) — approximate within the bench
+        accuracy budget, not bit-exact — and requires ``calibration``
+        (a :class:`~repro.nn.quant.CalibrationResult`); ``lowered`` is
+        implied by int8.
     """
 
     def __init__(self, detector: TinyYolo, confirm_frames: int = 3,
-                 conf_threshold: float = 0.3, lowered: bool = False):
+                 conf_threshold: float = 0.3, lowered: bool = False,
+                 precision: str = "fp", calibration=None):
         # The pipeline owns the detector as a frozen perception component:
         # inference must use batch-norm running statistics. In training
         # mode, per-batch statistics made detections depend on how frames
@@ -73,7 +81,10 @@ class AvPipeline:
         # frame — both inference-path bugs.
         self.detector = detector.eval()
         self.lowered = lowered
-        self.infer_model = detector.lower() if lowered else self.detector
+        self.precision = precision
+        self.infer_model = resolve_inference_model(
+            detector, precision=precision, lowered=lowered,
+            calibration=calibration)
         self.conf_threshold = conf_threshold
         self.confirmer = DetectionConfirmer(confirm_frames=confirm_frames)
         self.planner = RulePlanner(detector.config.input_size)

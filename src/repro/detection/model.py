@@ -120,6 +120,35 @@ class TinyYolo(nn.Module):
         return lower_detector(self, debug=debug)
 
     # ------------------------------------------------------------------
+    def quantize(self, calibration_frames=None, *, calibration=None,
+                 percentile: float = 100.0,
+                 debug: bool = False) -> "nn.QuantizedDetector":
+        """Compile this frozen detector to int8 inference (DESIGN.md §15).
+
+        Either pass ``calibration_frames`` — an ``(N, 3, H, W)`` array of
+        representative inputs run through the lowered fp graph to record
+        per-layer activation ranges (optionally percentile-clipped) — or a
+        previously computed
+        :class:`~repro.nn.quant.CalibrationResult` via ``calibration``.
+        Requires eval mode. The result shares this model's ``forward``
+        contract but is inference-only and *approximate*: detections
+        match the fp oracle within the accuracy budget reported by
+        ``bench_hotpath.py``, not bit-exactly. Scales are quantized
+        *copies* — re-quantize after loading a new checkpoint.
+        """
+        from ..nn.quant import (QuantizationError, calibrate_detector,
+                                quantize_detector)
+        if calibration is None:
+            if calibration_frames is None:
+                raise QuantizationError(
+                    "TinyYolo.quantize needs calibration: pass "
+                    "calibration_frames (representative (N, 3, H, W) "
+                    "inputs) or calibration=CalibrationResult")
+            calibration = calibrate_detector(self, calibration_frames,
+                                             percentile=percentile)
+        return quantize_detector(self, calibration, debug=debug)
+
+    # ------------------------------------------------------------------
     def checkpoint_metadata(self) -> dict:
         """Metadata stored alongside checkpoints for compatibility checks."""
         return {

@@ -26,6 +26,7 @@ import numpy as np
 from ..detection.config import CLASS_NAMES
 from ..detection.decode import batched_detections
 from ..detection.model import TinyYolo
+from ..nn.quant import resolve_inference_model
 from ..obs import Run, span_scope
 from ..perf import PerfRecorder
 from ..runtime import FaultSchedule
@@ -105,6 +106,8 @@ def run_challenge(
     perf: Optional[PerfRecorder] = None,
     obs: Optional[Run] = None,
     lowered: bool = False,
+    precision: str = "fp",
+    calibration=None,
 ) -> ChallengeResult:
     """Evaluate one challenge, averaging PWC over ``n_runs`` seeded runs.
 
@@ -113,6 +116,12 @@ def run_challenge(
     the lowered executor — same outcomes within the parity tolerance,
     measurably faster. Default off so attack loops that re-enter training
     mode keep the differentiable graph.
+
+    ``precision="int8"`` runs detection through the quantized inference
+    plan instead (DESIGN.md §15; requires ``calibration``, a
+    :class:`~repro.nn.quant.CalibrationResult`). Unlike lowering this is
+    an accuracy-vs-speed point: PWC/CWC may differ from the fp oracle
+    within the budget reported by ``bench_hotpath.py``.
 
     ``faults`` degrades the rendered frame stream before the detector sees
     it; the schedule is re-seeded per run (derived from ``seed``) so
@@ -144,7 +153,9 @@ def run_challenge(
     # mid-training caller keeps its mode.
     was_training = model.training
     model.eval()
-    infer_model = model.lower() if lowered else model
+    infer_model = resolve_inference_model(model, precision=precision,
+                                          lowered=lowered,
+                                          calibration=calibration)
 
     local_perf = perf
     if obs is not None and local_perf is None:
@@ -239,6 +250,8 @@ def evaluate_challenges(
     perf: Optional[PerfRecorder] = None,
     obs: Optional[Run] = None,
     lowered: bool = False,
+    precision: str = "fp",
+    calibration=None,
 ) -> Dict[str, ChallengeResult]:
     """Run a set of challenges; returns challenge → result."""
     return {
@@ -247,6 +260,7 @@ def evaluate_challenges(
             target_class=target_class, physical=physical,
             n_runs=n_runs, seed=seed, faults=faults,
             batch_size=batch_size, perf=perf, obs=obs, lowered=lowered,
+            precision=precision, calibration=calibration,
         )
         for challenge in challenges
     }

@@ -32,6 +32,16 @@ from .lowering import (
     lower_detector,
 )
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .quant import (
+    CalibrationResult,
+    QuantizationError,
+    QuantizedDetector,
+    activation_error_stats,
+    calibrate_detector,
+    quant_runtime_totals,
+    quantize_detector,
+    resolve_inference_model,
+)
 from .serialization import load_module, save_module
 from .tensor import Tensor, concatenate, ensure_tensor, no_grad, stack
 
@@ -68,6 +78,14 @@ __all__ = [
     "fold_conv_bn",
     "layer_parity",
     "lower_detector",
+    "CalibrationResult",
+    "QuantizationError",
+    "QuantizedDetector",
+    "activation_error_stats",
+    "calibrate_detector",
+    "quant_runtime_totals",
+    "quantize_detector",
+    "resolve_inference_model",
     "he_normal",
     "xavier_uniform",
     "normal_",

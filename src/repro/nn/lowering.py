@@ -297,12 +297,22 @@ class _Plan:
     Mirrors :meth:`repro.detection.model.TinyYolo.forward` exactly —
     backbone with five stride-2 pools and the stride-1 'same' pool, the
     layer-13 route, the coarse head, and the upsample/concat fine head.
+
+    ``conv_exec`` is the per-layer executor family: the lowered fp plans
+    use :class:`_ConvExec`; the int8 plans of :mod:`repro.nn.quant` pass
+    their own executor class built from quantized specs. Everything else
+    — pools, upsample, concat, the graph topology itself — is shared
+    between the two plan families.
     """
 
     def __init__(self, specs: Dict[str, FusedConvSpec],
-                 in_shape: Tuple[int, ...], ws: ConvWorkspace):
+                 in_shape: Tuple[int, ...], ws: ConvWorkspace,
+                 conv_exec=None):
+        if conv_exec is None:
+            conv_exec = _ConvExec
+
         def conv(name, shape):
-            exec_ = _ConvExec(specs[name], shape, ws)
+            exec_ = conv_exec(specs[name], shape, ws)
             return exec_, exec_.out.shape
 
         shape = in_shape
@@ -332,8 +342,13 @@ class _Plan:
         self.convs["head_fine"], _ = conv("head_fine", shape)
 
     def run(self, x: np.ndarray,
-            capture: Optional[Dict[str, np.ndarray]] = None
-            ) -> Tuple[np.ndarray, np.ndarray]:
+            capture: Optional[Dict[str, np.ndarray]] = None,
+            tap=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Execute the plan. ``capture`` records each conv's *output*
+        (parity oracle); ``tap(name, array)`` observes each conv's *input*
+        just before it runs (the quantization calibration pass records
+        activation ranges through it). Both default to ``None`` and cost
+        nothing on the hot path."""
         convs, pools = self.convs, self.pools
 
         def emit(name, value):
@@ -341,28 +356,32 @@ class _Plan:
                 capture[name] = value.copy()
             return value
 
-        x = emit("conv1", convs["conv1"].run(x))
+        def conv(name, value):
+            if tap is not None:
+                tap(name, value)
+            return convs[name].run(value)
+
+        x = emit("conv1", conv("conv1", x))
         x = pools[0].run(x)
-        x = emit("conv2", convs["conv2"].run(x))
+        x = emit("conv2", conv("conv2", x))
         x = pools[1].run(x)
-        x = emit("conv3", convs["conv3"].run(x))
+        x = emit("conv3", conv("conv3", x))
         x = pools[2].run(x)
-        x = emit("conv4", convs["conv4"].run(x))
+        x = emit("conv4", conv("conv4", x))
         x = pools[3].run(x)
-        route_fine = emit("conv5", convs["conv5"].run(x))
+        route_fine = emit("conv5", conv("conv5", x))
         x = pools[4].run(route_fine)
-        x = emit("conv6", convs["conv6"].run(x))
+        x = emit("conv6", conv("conv6", x))
         x = self.same_pool.run(x)
-        x = emit("conv7", convs["conv7"].run(x))
-        route_13 = emit("conv8", convs["conv8"].run(x))
+        x = emit("conv7", conv("conv7", x))
+        route_13 = emit("conv8", conv("conv8", x))
         coarse = emit("head_coarse",
-                      convs["head_coarse"].run(convs["conv9"].run(route_13)))
+                      conv("head_coarse", conv("conv9", route_13)))
         if capture is not None:
             capture["conv9"] = convs["conv9"].out.copy()
-        up = self.upsample.run(emit("conv10", convs["conv10"].run(route_13)))
+        up = self.upsample.run(emit("conv10", conv("conv10", route_13)))
         merged = self.concat.run(up, route_fine)
-        fine = emit("head_fine",
-                    convs["head_fine"].run(convs["conv11"].run(merged)))
+        fine = emit("head_fine", conv("head_fine", conv("conv11", merged)))
         if capture is not None:
             capture["conv11"] = convs["conv11"].out.copy()
         return coarse, fine
@@ -378,27 +397,36 @@ _BLOCK_NAMES = ("conv1", "conv2", "conv3", "conv4", "conv5", "conv6",
 _HEAD_NAMES = ("head_coarse", "head_fine")
 
 
-class LoweredDetector:
-    """Inference-lowered view of a frozen :class:`TinyYolo`.
+class CompiledDetector:
+    """Shared machinery of the compiled (inference-only) detector views.
+
+    Both plan families — the lowered fp executor (:class:`LoweredDetector`)
+    and the int8 executor (:class:`repro.nn.quant.QuantizedDetector`) —
+    are a spec dict plus a per-shape :class:`_Plan` cache over a private
+    :class:`~repro.nn.functional.ConvWorkspace`. Subclasses set
+    ``kind`` (error messages), ``conv_exec`` (the per-layer executor
+    class) and fill ``self.specs`` before first use.
 
     Same ``forward`` contract as the source model — call with an NCHW
     tensor (or array), get ``(coarse, fine)`` raw head tensors — plus the
     same ``config`` attribute, so it drops into ``batched_detections``,
     :class:`~repro.av.pipeline.AvPipeline`, the eval protocol and the
     serving backends unchanged. Weights are folded copies: later mutation
-    of the source model does **not** propagate (re-lower after loading a
-    new checkpoint).
-
-    ``debug=True`` arms the plan workspace's in-flight pad guard (the
-    aliasing oracle); leave it off on hot paths.
+    of the source model does **not** propagate (re-compile after loading
+    a new checkpoint).
     """
+
+    kind = "compiled"
+    #: Per-layer executor class handed to :class:`_Plan`.
+    conv_exec = None  # subclasses set
 
     def __init__(self, model, debug: bool = False):
         if model.training:
             raise RuntimeError(
-                "lowering requires an eval-mode detector: BN folding bakes "
-                "in the running statistics, which training mode would "
-                "neither use nor keep fixed — call model.eval() first")
+                f"{self.kind} compilation requires an eval-mode detector: "
+                "BN folding bakes in the running statistics, which training "
+                "mode would neither use nor keep fixed — call model.eval() "
+                "first")
         self.config = model.config
         self.training = False
         # Private plan cache: count-unbounded within byte budget (one plan
@@ -406,19 +434,15 @@ class LoweredDetector:
         # full-profile plan fits.
         self.workspace = ConvWorkspace(max_buffers=512, debug=debug)
         self.specs: Dict[str, FusedConvSpec] = {}
-        for name in _BLOCK_NAMES:
-            self.specs[name] = FusedConvSpec.from_block(name, getattr(model, name))
-        for name in _HEAD_NAMES:
-            self.specs[name] = FusedConvSpec.from_conv(name, getattr(model, name))
         self._plans: Dict[Tuple[int, ...], _Plan] = {}
 
     # -- Module-surface compatibility ----------------------------------
-    def eval(self) -> "LoweredDetector":
+    def eval(self) -> "CompiledDetector":
         return self
 
-    def train(self, mode: bool = True) -> "LoweredDetector":
+    def train(self, mode: bool = True) -> "CompiledDetector":
         if mode:
-            raise RuntimeError("a LoweredDetector is inference-only; "
+            raise RuntimeError(f"a {type(self).__name__} is inference-only; "
                                "train the source TinyYolo instead")
         return self
 
@@ -433,16 +457,18 @@ class LoweredDetector:
     def _plan_for(self, shape: Tuple[int, ...]) -> _Plan:
         plan = self._plans.get(shape)
         if plan is None:
-            plan = self._plans[shape] = _Plan(self.specs, shape, self.workspace)
+            plan = self._plans[shape] = _Plan(
+                self.specs, shape, self.workspace, conv_exec=self.conv_exec)
         return plan
 
     def forward_arrays(self, data: np.ndarray,
-                       capture: Optional[Dict[str, np.ndarray]] = None
-                       ) -> Tuple[np.ndarray, np.ndarray]:
+                       capture: Optional[Dict[str, np.ndarray]] = None,
+                       tap=None) -> Tuple[np.ndarray, np.ndarray]:
         """Raw-array forward: ``(coarse, fine)`` numpy head outputs.
 
         The returned arrays are *copies* of the plan buffers, safe to hold
-        across subsequent forwards.
+        across subsequent forwards. ``tap(name, array)`` observes each
+        conv input (calibration); ``capture`` records conv outputs.
         """
         data = np.ascontiguousarray(data, dtype=np.float32)
         if data.ndim != 4 or data.shape[1] != 3:
@@ -452,13 +478,14 @@ class LoweredDetector:
             raise ValueError(
                 f"input spatial size {data.shape[-2:]} != configured "
                 f"{self.config.input_size}")
-        coarse, fine = self._plan_for(data.shape).run(data, capture=capture)
+        coarse, fine = self._plan_for(data.shape).run(data, capture=capture,
+                                                      tap=tap)
         return coarse.copy(), fine.copy()
 
     def forward(self, x) -> Tuple[Tensor, Tensor]:
-        """Run the lowered detector; same contract as ``TinyYolo.forward``.
+        """Run the compiled detector; same contract as ``TinyYolo.forward``.
 
-        Raises if asked to participate in a gradient graph — the lowered
+        Raises if asked to participate in a gradient graph — the compiled
         executor records no backward closures, so silently returning
         detached tensors would break an attack loop that expects
         gradients to flow.
@@ -466,9 +493,9 @@ class LoweredDetector:
         if isinstance(x, Tensor):
             if x.requires_grad and is_grad_enabled():
                 raise RuntimeError(
-                    "LoweredDetector is inference-only: input requires "
-                    "grad — use the unlowered TinyYolo for attack/training "
-                    "forwards (or wrap in no_grad())")
+                    f"{type(self).__name__} is inference-only: input "
+                    "requires grad — use the unlowered TinyYolo for "
+                    "attack/training forwards (or wrap in no_grad())")
             data = x.data
         else:
             data = np.asarray(x)
@@ -476,6 +503,25 @@ class LoweredDetector:
         return Tensor(coarse), Tensor(fine)
 
     __call__ = forward
+
+
+class LoweredDetector(CompiledDetector):
+    """Inference-lowered view of a frozen :class:`TinyYolo`.
+
+    BN folded into the conv weights, fused bias/leaky-ReLU epilogues,
+    per-shape fp32 plans. ``debug=True`` arms the plan workspace's
+    in-flight pad guard (the aliasing oracle); leave it off on hot paths.
+    """
+
+    kind = "lowered"
+    conv_exec = _ConvExec
+
+    def __init__(self, model, debug: bool = False):
+        super().__init__(model, debug=debug)
+        for name in _BLOCK_NAMES:
+            self.specs[name] = FusedConvSpec.from_block(name, getattr(model, name))
+        for name in _HEAD_NAMES:
+            self.specs[name] = FusedConvSpec.from_conv(name, getattr(model, name))
 
 
 def lower_detector(model, debug: bool = False) -> LoweredDetector:

@@ -613,9 +613,11 @@ class TrainTelemetry(LiveTelemetry):
         after its parent does not double-sample them. Imported lazily —
         :mod:`repro.obs` must not depend on :mod:`repro.nn` at load."""
         from ..nn.functional import conv_workspace_totals
+        from ..nn.quant import quant_runtime_totals
         from ..perf import process_stats
         self.ensure_probe("proc", process_stats)
         self.ensure_probe("workspace", conv_workspace_totals)
+        self.ensure_probe("quant", quant_runtime_totals)
 
     # -- metrics mirroring ---------------------------------------------
     def mirror_stats(self) -> None:

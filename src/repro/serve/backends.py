@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from ..detection.decode import batched_detections
 from ..detection.model import TinyYolo
+from ..nn.quant import resolve_inference_model
 from ..parallel import PoolCounters, TaskOutcome, WorkerPool, WorkSpec
 from .config import ServeConfig
 from .scheduler import FrameStore
@@ -46,9 +47,12 @@ class InprocBackend:
 
     def __init__(self, detector: TinyYolo, store: FrameStore,
                  conf_threshold: float, iou_threshold: float,
-                 max_detections: int, lowered: bool = False):
+                 max_detections: int, lowered: bool = False,
+                 precision: str = "fp", calibration=None):
         self._detector = detector.eval()
-        self._infer_model = detector.lower() if lowered else self._detector
+        self._infer_model = resolve_inference_model(
+            detector, precision=precision, lowered=lowered,
+            calibration=calibration)
         self._store = store
         self._conf = conf_threshold
         self._iou = iou_threshold
@@ -102,7 +106,8 @@ class PoolBackend:
 
     def __init__(self, detector: TinyYolo, store: FrameStore,
                  config: ServeConfig, conf_threshold: float,
-                 iou_threshold: float, max_detections: int):
+                 iou_threshold: float, max_detections: int,
+                 calibration=None):
         payload = ServeWorkerPayload(
             detector_config=detector.config,
             frame_handle=store.handle(),
@@ -111,6 +116,8 @@ class PoolBackend:
             max_detections=max_detections,
             fail_init=config.debug_fail_worker_init,
             lowered=config.lowered,
+            precision=config.precision,
+            calibration=calibration,
         )
         spec = WorkSpec(
             init_fn=serve_worker_init,

@@ -81,6 +81,16 @@ class ServeConfig:
         within the lowering parity tolerance, measurably faster. Applies
         to both the worker pool (each worker lowers after loading the
         broadcast weights) and the in-process fallback. Default off.
+    precision:
+        ``"fp"`` (default) or ``"int8"``. Int8 runs inference through the
+        post-training-quantized plan (DESIGN.md §15): each pool worker
+        re-quantizes after loading the broadcast weights, exactly as it
+        re-lowers today, and the in-process fallback quantizes locally.
+        Requires a calibration result passed to the server
+        (``DetectionServer(calibration=...)``) — detections then match
+        the fp oracle within the bench accuracy budget, not bit-exactly.
+        All delivery guarantees (admission, deadlines, exactly-once,
+        chaos recovery) are precision-independent.
     debug_fail_worker_init:
         Test/chaos hook: makes every pool worker raise in its init
         function, simulating a pool that cannot be (re)built.
@@ -98,9 +108,13 @@ class ServeConfig:
     stats_interval_s: float = 1.0
     degraded_ok: bool = True
     lowered: bool = False
+    precision: str = "fp"
     debug_fail_worker_init: bool = False
 
     def __post_init__(self) -> None:
+        if self.precision not in ("fp", "int8"):
+            raise ValueError(
+                f"precision must be 'fp' or 'int8', got {self.precision!r}")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
         if self.max_batch < 1:

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..detection.model import TinyYolo
 from ..nn.functional import conv_workspace_totals
+from ..nn.quant import QuantizationError, quant_runtime_totals
 from ..obs import Run
 from ..obs.live import LiveConfig, LiveTelemetry
 from ..obs.run import write_json_atomic
@@ -128,13 +129,26 @@ class DetectionServer:
         evaluating the configured SLO rules, and writing ``live.json`` /
         ``alerts.jsonl`` into the obs directory. ``None`` — the default —
         costs nothing: no thread, no probes, no files.
+    calibration:
+        :class:`~repro.nn.quant.CalibrationResult` backing
+        ``ServeConfig(precision="int8")`` (DESIGN.md §15). Required when
+        the config asks for int8 — validated here at construction, so a
+        mis-configured server fails fast instead of on the first batch —
+        and forwarded to pool workers (who re-quantize after the weight
+        broadcast) and the in-process fallback alike.
     """
 
     def __init__(self, detector: TinyYolo, config: Optional[ServeConfig] = None,
                  obs: Optional[Run] = None, conf_threshold: float = 0.3,
                  iou_threshold: float = 0.45, max_detections: int = 50,
-                 live=None):
+                 live=None, calibration=None):
         self.config = config or ServeConfig()
+        if self.config.precision == "int8" and calibration is None:
+            raise QuantizationError(
+                "ServeConfig(precision='int8') requires calibration: pass "
+                "DetectionServer(calibration=CalibrationResult) — run "
+                "calibrate_detector(detector, frames) first")
+        self.calibration = calibration
         self.detector = detector.eval()
         self.obs = obs
         self._conf = conf_threshold
@@ -188,6 +202,13 @@ class DetectionServer:
             # evictions) aggregated across every thread's workspace plus
             # any lowered-plan caches — the memory side of the hot path.
             self.live.add_probe("workspace", conv_workspace_totals)
+            # Quantization runtime: calibration range summary, plan-cache
+            # sizes and dequant-epilogue counts over every quantized
+            # detector in-process — shows which precision is serving.
+            # All zeros on an fp server (the probe is precision-agnostic;
+            # pool workers' quantized detectors live in *their* processes
+            # and surface through their own telemetry, not this probe).
+            self.live.add_probe("quant", quant_runtime_totals)
             self.live.add_derived("serve.shed_rate", _shed_rate)
             self.live.add_derived("serve.respawns_per_min", _respawns_per_min)
             if obs is not None:
@@ -206,7 +227,9 @@ class DetectionServer:
     def _inproc_backend(self) -> InprocBackend:
         return InprocBackend(self.detector, self._store, self._conf,
                              self._iou, self._max_detections,
-                             lowered=self.config.lowered)
+                             lowered=self.config.lowered,
+                             precision=self.config.precision,
+                             calibration=self.calibration)
 
     def _build_backend(self):
         if self.config.workers == 0:
@@ -214,7 +237,8 @@ class DetectionServer:
             return self._inproc_backend()
         try:
             return PoolBackend(self.detector, self._store, self.config,
-                               self._conf, self._iou, self._max_detections)
+                               self._conf, self._iou, self._max_detections,
+                               calibration=self.calibration)
         except Exception:
             if not self.config.degraded_ok:
                 raise
@@ -301,6 +325,7 @@ class DetectionServer:
         out.update({
             "mode": self._backend.name,
             "degraded": self.degraded,
+            "precision": self.config.precision,
             "queue_capacity": self.config.queue_capacity,
             "pool": {
                 "respawns": counters.respawns,
@@ -318,6 +343,7 @@ class DetectionServer:
         out = self.stats.probe()
         out["queue_depth"] = self._store.in_use
         out["degraded"] = 1.0 if self.degraded else 0.0
+        out["int8"] = 1.0 if self.config.precision == "int8" else 0.0
         occupancy = out.get("recent_batch_occupancy")
         if occupancy is not None:
             out["batch_fill"] = occupancy / self.config.max_batch

@@ -26,6 +26,7 @@ import numpy as np
 from ..detection.config import TinyYoloConfig
 from ..detection.decode import Detection, batched_detections
 from ..detection.model import TinyYolo
+from ..nn.quant import resolve_inference_model
 from ..parallel import ArraySpec, SharedSlab, SlabHandle
 
 __all__ = [
@@ -95,6 +96,14 @@ class ServeWorkerPayload:
     #: Compile the worker's detector through the eval-time lowering pass
     #: after each weight load (DESIGN.md §13).
     lowered: bool = False
+    #: ``"fp"`` or ``"int8"`` — int8 re-quantizes after each weight load
+    #: (DESIGN.md §15) and requires ``calibration``.
+    precision: str = "fp"
+    #: Calibration ranges for the int8 path. A
+    #: :class:`~repro.nn.quant.CalibrationResult` is a small plain-field
+    #: object, so it pickles through the spawn boundary by value — the
+    #: ranges are data, not weights, and need no slab transport.
+    calibration: Optional[object] = None
 
 
 @dataclass
@@ -103,10 +112,10 @@ class _ServeContext:
     frames: SharedSlab
     payload: ServeWorkerPayload
     loaded_params: Optional[Dict[str, np.ndarray]] = None
-    #: Lowered executor compiled from the currently-loaded params; kept in
-    #: lockstep with ``loaded_params`` (folded weights are copies, so any
-    #: reload must re-lower).
-    lowered_model: Optional[object] = None
+    #: Compiled executor (lowered or quantized) built from the
+    #: currently-loaded params; kept in lockstep with ``loaded_params``
+    #: (folded weights/scales are copies, so any reload must re-compile).
+    infer_model: Optional[object] = None
 
 
 def serve_worker_init(payload: ServeWorkerPayload) -> _ServeContext:
@@ -136,10 +145,16 @@ def serve_worker_infer(ctx: _ServeContext, params: Dict[str, np.ndarray],
     if ctx.loaded_params is not params:
         ctx.model.load_state_dict(params)
         ctx.loaded_params = params
-        # Lower *after* the load: folding copies the weights, so a lowered
-        # executor built from stale params would serve stale detections.
-        ctx.lowered_model = (ctx.model.lower() if ctx.payload.lowered
-                             else None)
+        # Compile *after* the load: folding/quantization copies the
+        # weights, so an executor built from stale params would serve
+        # stale detections.
+        payload = ctx.payload
+        if payload.lowered or payload.precision == "int8":
+            ctx.infer_model = resolve_inference_model(
+                ctx.model, precision=payload.precision,
+                lowered=payload.lowered, calibration=payload.calibration)
+        else:
+            ctx.infer_model = None
     sleep_s = float(task.get("sleep_s", 0.0))
     if sleep_s > 0.0:  # chaos hook: simulate a hung forward
         import time
@@ -147,7 +162,7 @@ def serve_worker_infer(ctx: _ServeContext, params: Dict[str, np.ndarray],
     slots = list(task["slots"])
     frames = [ctx.frames.slot_copy(FRAME_ARRAY, slot) for slot in slots]
     per_frame = batched_detections(
-        ctx.lowered_model if ctx.lowered_model is not None else ctx.model,
+        ctx.infer_model if ctx.infer_model is not None else ctx.model,
         frames,
         conf_threshold=ctx.payload.conf_threshold,
         iou_threshold=ctx.payload.iou_threshold,

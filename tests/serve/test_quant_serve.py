@@ -1,0 +1,125 @@
+"""Int8 quantized serving: precision knob through both backends.
+
+``ServeConfig(precision="int8")`` must (a) fail fast at server
+construction when no calibration is supplied, (b) serve detections that
+byte-match direct quantized inference on the inproc backend, (c) produce
+the same detections from spawned pool workers — the CalibrationResult
+rides the payload pickle and workers re-quantize after the weight
+broadcast, so cross-process int8 results must equal in-process ones —
+and (d) surface the precision in snapshots and the live probe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection.decode import batched_detections
+from repro.nn.quant import QuantizationError, calibrate_detector
+from repro.serve import DetectionServer, RequestStatus, ServeConfig
+
+pytestmark = [pytest.mark.quant, pytest.mark.serve]
+
+
+def inproc_config(**overrides):
+    defaults = dict(workers=0, max_batch=4, batch_window_s=0.005,
+                    queue_capacity=16, max_sessions=4, deadline_s=30.0,
+                    precision="int8")
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def calibration(detector):
+    rng = np.random.default_rng(21)
+    frames = rng.random((8, 3, 64, 64)).astype(np.float32)
+    return calibrate_detector(detector, frames)
+
+
+def serve_frames(server, frames, client="int8-client", timeout=120):
+    session = server.open_session(client)
+    futures = [server.submit(session, frame) for frame in frames]
+    return [future.result(timeout=timeout) for future in futures]
+
+
+def test_int8_without_calibration_fails_at_construction(detector):
+    with pytest.raises(QuantizationError, match="requires calibration"):
+        DetectionServer(detector, inproc_config())
+
+
+def test_serve_config_rejects_unknown_precision():
+    with pytest.raises(ValueError, match="precision"):
+        ServeConfig(precision="int4")
+
+
+def test_inproc_int8_matches_direct_quantized_inference(
+        detector, make_frames, calibration):
+    frames = make_frames(10, seed=31)
+    server = DetectionServer(detector, inproc_config(),
+                             calibration=calibration)
+    try:
+        responses = serve_frames(server, frames)
+        snap = server.snapshot()
+        probe = server.probe()
+    finally:
+        server.close()
+
+    assert all(resp.status == RequestStatus.OK for resp in responses)
+    assert snap["precision"] == "int8"
+    assert probe["int8"] == 1.0
+
+    quantized = detector.quantize(calibration=calibration)
+    reference = batched_detections(quantized, frames, conf_threshold=0.3,
+                                   iou_threshold=0.45, max_detections=50,
+                                   batch_size=4)
+    for resp, want in zip(responses, reference):
+        assert len(resp.detections) == len(want)
+        for got, ref in zip(resp.detections, want):
+            assert got.class_id == ref.class_id
+            np.testing.assert_array_equal(got.box_xyxy, ref.box_xyxy)
+            assert got.score == ref.score
+
+
+def test_fp_server_reports_fp_precision(detector, make_frames):
+    server = DetectionServer(detector, inproc_config(precision="fp"))
+    try:
+        responses = serve_frames(server, make_frames(2, seed=1))
+        snap = server.snapshot()
+        probe = server.probe()
+    finally:
+        server.close()
+    assert all(resp.status == RequestStatus.OK for resp in responses)
+    assert snap["precision"] == "fp"
+    assert probe["int8"] == 0.0
+
+
+@pytest.mark.parallel
+def test_pool_int8_matches_inproc_int8(detector, make_frames, calibration):
+    """Spawned workers re-quantize from the pickled CalibrationResult;
+    their int8 detections must byte-match the in-process quantized path
+    (the exact-GEMM determinism argument holds across processes)."""
+    frames = make_frames(8, seed=37)
+    pool = DetectionServer(
+        detector,
+        ServeConfig(workers=2, max_batch=4, batch_window_s=0.01,
+                    queue_capacity=32, deadline_s=60.0, task_timeout_s=30.0,
+                    precision="int8"),
+        calibration=calibration)
+    try:
+        pool_responses = serve_frames(pool, frames, client="pool-int8")
+        snap = pool.snapshot()
+    finally:
+        pool.close()
+
+    assert all(resp.status == RequestStatus.OK for resp in pool_responses)
+    assert snap["precision"] == "int8"
+
+    quantized = detector.quantize(calibration=calibration)
+    reference = batched_detections(quantized, frames, conf_threshold=0.3,
+                                   iou_threshold=0.45, max_detections=50,
+                                   batch_size=4)
+    # Byte-equality holds whether the batch ran in a worker or on the
+    # degraded inproc fallback — int8 numerics are process-independent.
+    for resp, want in zip(pool_responses, reference):
+        assert len(resp.detections) == len(want)
+        for got, ref in zip(resp.detections, want):
+            assert got.class_id == ref.class_id
+            np.testing.assert_array_equal(got.box_xyxy, ref.box_xyxy)
